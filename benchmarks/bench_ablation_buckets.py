@@ -1,0 +1,88 @@
+"""Ablation: staging-bucket count vs sustainable analysis frequency (§V).
+
+The temporal-multiplexing claim: mapping successive timesteps' in-transit
+tasks to different buckets decouples a slow serial stage (topology's
+~120 s glue) from the fast simulation cadence (16.85 s/step). This
+ablation sweeps the bucket count on the full-scale DES replay and locates
+the knee: ceil(task duration / step time) ~ 8 buckets.
+
+Run standalone:  python benchmarks/bench_ablation_buckets.py
+"""
+
+import math
+
+import pytest
+
+from repro.core import AnalyticsVariant, ExperimentConfig, ScaledExperiment
+from repro.util import TextTable
+
+N_STEPS = 8
+
+
+def sweep(bucket_counts=(1, 2, 4, 8, 12, 16)):
+    exp = ScaledExperiment(ExperimentConfig.paper_4896())
+    rows = []
+    for n in bucket_counts:
+        sched = exp.run_schedule(n_steps=N_STEPS, n_buckets=n,
+                                 analyses=(AnalyticsVariant.TOPO_HYBRID,))
+        rows.append({
+            "buckets": n,
+            "max_wait": sched.max_queue_wait(),
+            "keeps_pace": sched.keeps_pace(),
+            "makespan": sched.makespan,
+        })
+    return exp, rows
+
+
+def render(rows) -> str:
+    t = TextTable(["buckets", "max queue wait (s)", "keeps pace", "makespan (s)"],
+                  title="Ablation: bucket count vs topology pipeline health")
+    for r in rows:
+        t.add_row([r["buckets"], round(r["max_wait"], 2),
+                   "yes" if r["keeps_pace"] else "NO",
+                   round(r["makespan"], 1)])
+    return t.render()
+
+
+def test_knee_at_duration_over_cadence():
+    exp, rows = sweep()
+    print("\n" + render(rows))
+    b = exp.breakdown()
+    topo = b.analytics[AnalyticsVariant.TOPO_HYBRID.value]
+    task_duration = topo.movement_time + topo.intransit_time
+    knee = math.ceil(task_duration / b.simulation_time)
+    print(f"predicted knee: ceil({task_duration:.1f} / "
+          f"{b.simulation_time:.2f}) = {knee} buckets")
+    for r in rows:
+        if r["buckets"] >= knee:
+            assert r["keeps_pace"], f"{r['buckets']} buckets should keep pace"
+        if r["buckets"] <= knee // 2:
+            assert not r["keeps_pace"], \
+                f"{r['buckets']} buckets should fall behind"
+
+
+def test_queue_wait_monotone_in_buckets():
+    _exp, rows = sweep()
+    waits = [r["max_wait"] for r in rows]
+    assert all(a >= b - 1e-9 for a, b in zip(waits, waits[1:]))
+
+
+def test_single_bucket_wait_grows_linearly_with_steps():
+    """With one bucket the backlog grows each analysed step."""
+    exp = ScaledExperiment(ExperimentConfig.paper_4896())
+    short = exp.run_schedule(n_steps=3, n_buckets=1,
+                             analyses=(AnalyticsVariant.TOPO_HYBRID,))
+    long = exp.run_schedule(n_steps=6, n_buckets=1,
+                            analyses=(AnalyticsVariant.TOPO_HYBRID,))
+    assert long.max_queue_wait() > 1.5 * short.max_queue_wait()
+
+
+def test_bucket_sweep_benchmark(benchmark):
+    exp = ScaledExperiment(ExperimentConfig.paper_4896())
+    sched = benchmark(exp.run_schedule, 4,
+                      (AnalyticsVariant.TOPO_HYBRID,), 8)
+    assert len(sched.results) == 4
+
+
+if __name__ == "__main__":
+    print(render(sweep()[1]))

@@ -1,0 +1,128 @@
+"""§VI future-work features, implemented and measured.
+
+The paper's conclusion names its next steps; this module exercises each
+one end to end and benchmarks its kernels:
+
+* hybrid auto-correlative statistics (AR(1) recovery + wire size);
+* feature-based statistics (merge tree x moments);
+* streaming in-transit processing (latency hiding, also see
+  ``bench_ablation_streaming.py``);
+* computational steering (cadence refinement on topology events).
+
+Run standalone:  python benchmarks/bench_extensions.py
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.feature_stats import feature_statistics_hybrid
+from repro.analysis.statistics.autocorrelation import (
+    AutocorrelationLearner,
+    derive_autocorrelation,
+)
+from repro.analysis.topology import segment_superlevel
+from repro.core import HybridFramework
+from repro.core.steering import refine_cadence_on_topology
+from repro.sim import LiftedFlameCase, StructuredGrid3D
+from repro.util import TextTable
+from repro.vmpi import BlockDecomposition3D
+
+from conftest import blob_field
+
+
+def ar1_series(rho=0.8, n_steps=50, shape=(8, 6, 4), seed=6):
+    rng = np.random.default_rng(seed)
+    out = [rng.normal(size=shape)]
+    for _ in range(n_steps - 1):
+        out.append(rho * out[-1] + np.sqrt(1 - rho**2) * rng.normal(size=shape))
+    return out
+
+
+def autocorrelation_experiment(max_lag=4):
+    decomp = BlockDecomposition3D((8, 6, 4), (2, 1, 1))
+    learners = [AutocorrelationLearner(max_lag) for _ in range(decomp.n_ranks)]
+    for step in ar1_series():
+        for learner, b in zip(learners, decomp.blocks()):
+            learner.observe(step[b.slices])
+    packed = [l.pack() for l in learners]
+    rho = derive_autocorrelation(packed, max_lag)
+    wire = sum(p.nbytes for p in packed)
+    return rho, wire
+
+
+def render_autocorrelation(rho, wire) -> str:
+    t = TextTable(["lag k", "rho(k) measured", "rho^k expected"],
+                  title="Extension: hybrid auto-correlative statistics "
+                        "(AR(1), rho = 0.8)")
+    for k, v in sorted(rho.items()):
+        t.add_row([k, round(v, 3), round(0.8 ** k, 3)])
+    return t.render() + f"\nwire payload: {wire} bytes (vs raw series ~"\
+        f"{50 * 8 * 6 * 4 * 8} bytes)"
+
+
+def test_autocorrelation_recovers_ar1(benchmark):
+    (rho, wire) = benchmark(autocorrelation_experiment)
+    print("\n" + render_autocorrelation(rho, wire))
+    for k, v in rho.items():
+        assert v == pytest.approx(0.8 ** k, abs=0.15)
+    # movement stays tiny: the staging-friendly property
+    assert wire < 50 * 8 * 6 * 4 * 8 / 10
+
+
+def test_feature_statistics_split_features(benchmark):
+    field = blob_field((20, 16, 12), n_blobs=4, seed=31)
+    seg = segment_superlevel(field, 0.4)
+    decomp = BlockDecomposition3D(field.shape, (2, 2, 2))
+    stats = benchmark(feature_statistics_hybrid, seg, {"f": field}, decomp)
+    assert set(stats) == set(seg.features)
+    for fid, fs in stats.items():
+        mask = seg.labels == fid
+        assert fs.statistics["f"].mean == pytest.approx(field[mask].mean())
+
+
+def steering_experiment():
+    grid = StructuredGrid3D((12, 10, 8))
+    case = LiftedFlameCase(grid, seed=44, kernel_rate=2.0)
+    decomp = BlockDecomposition3D((12, 10, 8), (2, 1, 1))
+    rule = refine_cadence_on_topology(n_maxima=1, new_interval=1)
+    fw = HybridFramework(case, decomp, analyses=("topology",), n_buckets=2,
+                         steering=(rule,))
+    result = fw.run(6, analysis_interval=3)
+    return fw, result
+
+
+def test_steering_refines_cadence():
+    fw, result = steering_experiment()
+    assert result.steering_events, "expected the rule to fire"
+    assert fw.analysis_interval == 1
+    # more analysed steps than the un-steered cadence would produce
+    assert len(result.analysed_steps) > 2
+    t = TextTable(["event", "rule", "at step"],
+                  title="Extension: computational steering events")
+    for i, ev in enumerate(result.steering_events):
+        t.add_row([i, ev.rule, ev.timestep])
+    print("\n" + t.render())
+
+
+def test_streaming_topology_equivalence():
+    """The streaming glue (§VI) and buffered glue agree in the framework."""
+    def run(streaming):
+        grid = StructuredGrid3D((10, 8, 6))
+        case = LiftedFlameCase(grid, seed=33, kernel_rate=1.0)
+        decomp = BlockDecomposition3D((10, 8, 6), (2, 2, 1))
+        fw = HybridFramework(case, decomp, analyses=("topology",),
+                             n_buckets=2, streaming_topology=streaming)
+        return fw.run(2)
+
+    a, b = run(False), run(True)
+    for step in (0, 1):
+        assert a.merge_trees[step].reduced().signature() == \
+            b.merge_trees[step].reduced().signature()
+
+
+if __name__ == "__main__":
+    rho, wire = autocorrelation_experiment()
+    print(render_autocorrelation(rho, wire))
+    _fw, result = steering_experiment()
+    print(f"\nsteering: {len(result.steering_events)} rule firings; final "
+          f"cadence = every {_fw.analysis_interval} step(s)")

@@ -1,0 +1,110 @@
+"""Fig. 2: in-situ full-resolution rendering vs hybrid down-sampled rendering.
+
+The figure shows overview and zoom views of the temperature field rendered
+(a/c) fully in-situ at full resolution and (b/d) in-transit from data
+down-sampled at every 8th grid point. We regenerate both modes on the
+proxy simulation, check the hybrid image approximates the in-situ one at a
+fraction of the data, and benchmark both render paths.
+
+Run standalone:  python benchmarks/bench_fig2_visualization.py
+"""
+
+import pytest
+
+from repro.analysis.visualization import (
+    Camera,
+    TransferFunction,
+    downsample_decomposed,
+    render_blocks_insitu,
+    render_intransit,
+)
+from repro.util import TextTable, fmt_bytes, image_rmse
+from repro.vmpi import BlockDecomposition3D
+
+
+def setup_scene(flame_solver):
+    temperature = flame_solver.fields["T"]
+    decomp = BlockDecomposition3D(temperature.shape, (2, 2, 2))
+    tf = TransferFunction.hot(float(temperature.min()), float(temperature.max()))
+    cameras = {
+        "overview": Camera(image_shape=(32, 32), azimuth_deg=30, elevation_deg=20),
+        "zoom": Camera(image_shape=(32, 32), azimuth_deg=30, elevation_deg=20,
+                       zoom=2.5, center=(8.0, 8.0, 6.0)),
+    }
+    return temperature, decomp, tf, cameras
+
+
+def render_rows(flame_solver):
+    temperature, decomp, tf, cameras = setup_scene(flame_solver)
+    rows = []
+    for view, cam in cameras.items():
+        insitu = render_blocks_insitu(temperature, decomp, cam, tf)
+        for stride in (2, 4):
+            blocks = downsample_decomposed(temperature, decomp, stride)
+            hybrid = render_intransit(blocks, temperature.shape, cam, tf)
+            rows.append({
+                "view": view, "stride": stride,
+                "payload": sum(b.nbytes for b in blocks),
+                "raw": temperature.nbytes,
+                "rmse": image_rmse(insitu, hybrid),
+            })
+    return rows
+
+
+def render(rows) -> str:
+    t = TextTable(["view", "stride", "moved", "raw", "RMSE vs in-situ"],
+                  title="Fig. 2 (regenerated): hybrid vs in-situ rendering")
+    for r in rows:
+        t.add_row([r["view"], r["stride"], fmt_bytes(r["payload"]),
+                   fmt_bytes(r["raw"]), round(r["rmse"], 4)])
+    return t.render()
+
+
+@pytest.fixture(scope="module")
+def fig2_rows(flame_solver):
+    return render_rows(flame_solver)
+
+
+def test_fig2_hybrid_approximates_insitu(fig2_rows):
+    print("\n" + render(fig2_rows))
+    for r in fig2_rows:
+        assert r["rmse"] < 0.25, f"{r['view']} stride {r['stride']} too far off"
+
+
+def test_fig2_data_reduction(fig2_rows):
+    """Stride s reduces moved bytes by ~s^3 (512x at the paper's stride 8)."""
+    for r in fig2_rows:
+        assert r["payload"] <= r["raw"] / (r["stride"] ** 3) * 1.5
+
+
+def test_fig2_error_monotone_in_stride(fig2_rows):
+    by_view = {}
+    for r in fig2_rows:
+        by_view.setdefault(r["view"], []).append(r)
+    for view, rows in by_view.items():
+        rows.sort(key=lambda r: r["stride"])
+        rmses = [r["rmse"] for r in rows]
+        assert rmses == sorted(rmses), f"error not monotone for {view}"
+
+
+def test_fig2_insitu_render_benchmark(benchmark, flame_solver):
+    temperature, decomp, tf, cameras = setup_scene(flame_solver)
+    img = benchmark(render_blocks_insitu, temperature, decomp,
+                    cameras["overview"], tf)
+    assert img.shape == (32, 32, 3)
+
+
+def test_fig2_hybrid_render_benchmark(benchmark, flame_solver):
+    temperature, decomp, tf, cameras = setup_scene(flame_solver)
+    blocks = downsample_decomposed(temperature, decomp, 2)
+    img = benchmark(render_intransit, blocks, temperature.shape,
+                    cameras["overview"], tf)
+    assert img.shape == (32, 32, 3)
+
+
+if __name__ == "__main__":
+    from repro.sim import LiftedFlameCase, S3DProxy, StructuredGrid3D
+    grid = StructuredGrid3D((24, 16, 12), lengths=(3.0, 2.0, 1.5))
+    solver = S3DProxy(LiftedFlameCase(grid, seed=5, kernel_rate=1.5))
+    solver.step(5)
+    print(render(render_rows(solver)))

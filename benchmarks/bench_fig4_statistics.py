@@ -1,0 +1,128 @@
+"""Fig. 4: the four statistics operations and their communication pattern.
+
+The figure defines learn / derive / assess / test and the caption's claim:
+"The learn stage is the only stage that requires inter-process
+communication by design." We regenerate the pattern on decomposed data,
+assert the communication claim via the comm tracker, verify the two
+deployments agree, and benchmark each stage.
+
+Run standalone:  python benchmarks/bench_fig4_statistics.py
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import (
+    StatisticsEngine,
+    assess,
+    derive,
+    learn,
+    merge_accumulators,
+)
+from repro.analysis.statistics.stages import test_mean_zscore as mean_zscore_test
+from repro.util import TextTable
+from repro.vmpi import VirtualComm
+
+N_RANKS = 8
+BLOCK_N = 4000
+
+
+def make_blocks(seed=17):
+    rng = np.random.default_rng(seed)
+    return [{"T": rng.normal(2.0, 0.5, BLOCK_N),
+             "H2": rng.gamma(2.0, 0.1, BLOCK_N)} for _ in range(N_RANKS)]
+
+
+def run_stages():
+    comm = VirtualComm(N_RANKS)
+    engine = StatisticsEngine(comm)
+    blocks = make_blocks()
+    rows = []
+
+    # learn: per-rank, then the only communication (model exchange)
+    partials = engine.learn_partials(blocks)
+    merged = merge_accumulators([p["T"] for p in partials])
+    rows.append(("learn", "per-rank pass + model merge",
+                 comm.tracker.count("allreduce")))
+
+    # derive: local on the merged model
+    stats = derive(merged)
+    rows.append(("derive", f"mean={stats.mean:.3f} var={stats.variance:.4f}", 0))
+
+    # assess: local per observation
+    z = assess(blocks[0]["T"], stats)
+    rows.append(("assess", f"{(np.abs(z) > 3).sum()} outliers in rank 0", 0))
+
+    # test: local on the model
+    zstat = mean_zscore_test(stats, 2.0)
+    rows.append(("test", f"H0 mean=2.0 -> z={zstat:.2f}", 0))
+    return comm, engine, blocks, stats, rows
+
+
+def render(rows) -> str:
+    t = TextTable(["stage", "result", "collectives used"],
+                  title="Fig. 4 (regenerated): the four statistics stages")
+    for r in rows:
+        t.add_row(list(r))
+    return t.render()
+
+
+def test_fig4_only_learn_communicates():
+    comm = VirtualComm(N_RANKS)
+    engine = StatisticsEngine(comm)
+    blocks = make_blocks()
+    result = engine.run_insitu(blocks)
+    # the only collectives are the learn-merge allreduces (one per variable)
+    ops = {r.op for r in comm.tracker.records}
+    assert ops == {"allreduce"}
+    assert comm.tracker.count("allreduce") == 2
+    # derive/assess/test run locally afterwards with no further records
+    n_before = len(comm.tracker.records)
+    stats = result.statistics["T"]
+    assess(blocks[0]["T"], stats)
+    mean_zscore_test(stats, 0.0)
+    assert len(comm.tracker.records) == n_before
+
+
+def test_fig4_stage_pipeline_results():
+    _comm, _engine, blocks, stats, rows = run_stages()
+    print("\n" + render(rows))
+    all_t = np.concatenate([b["T"] for b in blocks])
+    assert stats.mean == pytest.approx(all_t.mean())
+    assert stats.n == all_t.size
+    # an honest null hypothesis is not rejected; a false one is
+    assert abs(mean_zscore_test(stats, 2.0)) < 5
+    assert abs(mean_zscore_test(stats, 2.5)) > 20
+
+
+def test_fig4_deployments_agree():
+    blocks = make_blocks()
+    engine = StatisticsEngine(VirtualComm(N_RANKS))
+    insitu = engine.run_insitu(blocks)
+    hybrid = engine.run_hybrid(blocks)
+    for var in ("T", "H2"):
+        assert insitu.statistics[var].variance == pytest.approx(
+            hybrid.statistics[var].variance, rel=1e-10)
+
+
+def test_fig4_learn_benchmark(benchmark):
+    data = make_blocks()[0]["T"]
+    acc = benchmark(learn, data)
+    assert acc.n == BLOCK_N
+
+
+def test_fig4_derive_benchmark(benchmark):
+    acc = learn(make_blocks()[0]["T"])
+    stats = benchmark(derive, acc)
+    assert stats.n == BLOCK_N
+
+
+def test_fig4_assess_benchmark(benchmark):
+    data = make_blocks()[0]["T"]
+    stats = derive(learn(data))
+    z = benchmark(assess, data, stats)
+    assert z.shape == data.shape
+
+
+if __name__ == "__main__":
+    print(render(run_stages()[-1]))

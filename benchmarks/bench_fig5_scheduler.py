@@ -1,0 +1,94 @@
+"""Fig. 5: the framework architecture and its messaging scheme.
+
+The figure specifies: in-situ computations raise *data-ready* events whose
+descriptors enter a scheduling queue; staging buckets raise *bucket-ready*
+requests; tasks are assigned first-come first-served; buckets then
+asynchronously pull the data. We validate the event trace of a DES replay
+against each of those properties and benchmark the scheduler throughput.
+
+Run standalone:  python benchmarks/bench_fig5_scheduler.py
+"""
+
+import pytest
+
+from repro.core import AnalyticsVariant, ExperimentConfig, ScaledExperiment
+from repro.util import TextTable
+
+
+def replay(n_steps=6, n_buckets=4):
+    exp = ScaledExperiment(ExperimentConfig.paper_4896())
+    return exp, exp.run_schedule(n_steps=n_steps, n_buckets=n_buckets)
+
+
+def render(sched) -> str:
+    from repro.util.gantt import Span, render_gantt
+    t = TextTable(["task", "bucket", "queue wait (s)", "pull (s)",
+                   "in-transit (s)"],
+                  title="Fig. 5 (regenerated): in-transit task trace")
+    for r in sched.results:
+        t.add_row([r.task_id, r.bucket, round(r.queue_wait, 3),
+                   round(r.pull_duration, 4), round(r.compute_duration, 2)])
+    spans = [Span(r.bucket, r.assign_time, r.finish_time, r.task_id)
+             for r in sched.results]
+    return t.render() + "\n\nbucket occupancy:\n" + render_gantt(spans, 64)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return replay()
+
+
+def test_fig5_fcfs_assignment_order(trace):
+    """Tasks are assigned in data-ready order (FCFS)."""
+    exp, sched = trace
+    print("\n" + render(sched))
+    # reconstruct scheduler assignments via task results' enqueue order
+    by_enqueue = sorted(sched.results, key=lambda r: (r.enqueue_time, r.task_id))
+    by_assign = sorted(sched.results, key=lambda r: (r.assign_time, r.task_id))
+    # when buckets are plentiful within a burst, assignment never reorders
+    # across bursts: a later-arriving task is never assigned before an
+    # earlier-arriving one has been assigned.
+    for earlier, later in zip(by_enqueue, by_enqueue[1:]):
+        if earlier.enqueue_time < later.enqueue_time:
+            assert earlier.assign_time <= later.assign_time + 1e-9
+
+
+def test_fig5_pull_happens_after_assignment(trace):
+    _exp, sched = trace
+    for r in sched.results:
+        assert r.enqueue_time <= r.assign_time <= r.pull_done_time <= r.finish_time
+
+
+def test_fig5_asynchronous_pull_moves_real_bytes(trace):
+    exp, sched = trace
+    w = exp.workload
+    for r in sched.results:
+        for v in AnalyticsVariant:
+            if r.analysis == v.value:
+                assert r.bytes_pulled == w.movement_bytes_total(v)
+
+
+def test_fig5_all_buckets_participate(trace):
+    _exp, sched = trace
+    assert len({r.bucket for r in sched.results}) == sched.n_buckets
+
+
+def test_fig5_rpc_load_balanced_over_servers():
+    """§V: hashing balances RPC messages over DataSpaces servers."""
+    from repro.staging import ServiceRing
+    ring = ServiceRing(160)
+    keys = [f"topology/t{i}/#{i}" for i in range(16000)]
+    hist = ring.load_histogram(keys)
+    mean = len(keys) / 160
+    assert max(hist) < 3 * mean
+    assert min(hist) > 0
+
+
+def test_fig5_scheduler_benchmark(benchmark):
+    exp = ScaledExperiment(ExperimentConfig.paper_4896())
+    sched = benchmark(exp.run_schedule, 5, (AnalyticsVariant.STATS_HYBRID,), 4)
+    assert len(sched.results) == 5
+
+
+if __name__ == "__main__":
+    print(render(replay()[1]))

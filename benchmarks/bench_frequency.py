@@ -1,0 +1,104 @@
+"""Sustainable analysis frequency (§III's constraint, quantified).
+
+"In practice, the fastest sustainable analysis frequency is limited by
+memory and processing constraints on the secondary system."
+
+This experiment computes, from the calibrated model, the fastest cadence
+the paper's 4896-core staging area can absorb for the topology pipeline at
+each bucket count — cross-validated against the DES replay — and the
+staging memory the cadence requires.
+
+Run standalone:  python benchmarks/bench_frequency.py
+"""
+
+import pytest
+
+from repro.core import AnalyticsVariant, ExperimentConfig, ScaledExperiment
+from repro.util import TextTable, fmt_bytes
+from repro.util.units import GB
+
+
+def experiment():
+    return ScaledExperiment(ExperimentConfig.paper_4896())
+
+
+def sweep():
+    exp = experiment()
+    rows = []
+    for n_buckets in (1, 2, 4, 8, 16, 32):
+        interval = exp.min_sustainable_interval(n_buckets)
+        mem = exp.staging_memory_needed(interval, n_buckets)
+        rows.append({"buckets": n_buckets, "interval": interval,
+                     "memory": mem})
+    return exp, rows
+
+
+def render(rows) -> str:
+    t = TextTable(["buckets", "fastest sustainable cadence",
+                   "staging memory needed"],
+                  title="Sustainable analysis frequency (topology, 4896 cores)")
+    for r in rows:
+        cadence = ("every step" if r["interval"] == 1
+                   else f"every {r['interval']} steps")
+        t.add_row([r["buckets"], cadence, fmt_bytes(r["memory"])])
+    return t.render()
+
+
+def test_analytic_bound_matches_des_replay():
+    """The closed-form sustainable interval agrees with the DES: at that
+    interval the queue stays bounded; one step faster, it grows."""
+    exp, rows = sweep()
+    print("\n" + render(rows))
+    for r in rows:
+        if r["buckets"] > 8:
+            continue  # at >= 8 buckets interval 1 is already sustainable
+        ok = exp.run_schedule(n_steps=10, n_buckets=r["buckets"],
+                              analyses=(AnalyticsVariant.TOPO_HYBRID,),
+                              analysis_interval=r["interval"])
+        assert ok.keeps_pace(slack=1.05), \
+            f"{r['buckets']} buckets should sustain interval {r['interval']}"
+        if r["interval"] > 1:
+            too_fast = exp.run_schedule(
+                n_steps=3 * r["interval"], n_buckets=r["buckets"],
+                analyses=(AnalyticsVariant.TOPO_HYBRID,),
+                analysis_interval=max(1, r["interval"] // 2))
+            assert too_fast.max_queue_wait() > ok.max_queue_wait()
+
+
+def test_every_step_needs_eight_buckets():
+    """The headline §V configuration: analysis at every simulation step is
+    sustainable with ~8 of the 256 in-transit cores."""
+    exp = experiment()
+    assert exp.min_sustainable_interval(8) == 1
+    assert exp.min_sustainable_interval(1) > 1
+
+
+def test_memory_fits_staging_allocation():
+    """Even at cadence 1, the in-flight intermediate data (~8 steps x
+    ~240 MB) is a few GB — comfortably inside 256 staging cores' memory
+    (16 nodes x 32 GB on the XK6)."""
+    exp = experiment()
+    mem = exp.staging_memory_needed(1, n_buckets=8)
+    staging_capacity = 16 * 32 * GB
+    assert mem < staging_capacity / 100
+
+    # and it shrinks as the cadence coarsens
+    assert exp.staging_memory_needed(10, 8) <= mem
+
+
+def test_validation():
+    exp = experiment()
+    with pytest.raises(ValueError):
+        exp.min_sustainable_interval(0)
+    with pytest.raises(ValueError):
+        exp.staging_memory_needed(0, 1)
+
+
+def test_frequency_benchmark(benchmark):
+    exp = experiment()
+    interval = benchmark(exp.min_sustainable_interval, 4)
+    assert interval >= 1
+
+
+if __name__ == "__main__":
+    print(render(sweep()[1]))

@@ -1,0 +1,96 @@
+"""Scaling sweep beyond the paper's two points (extension experiment).
+
+Table I gives 4896 and 9440 cores; the calibrated model extends the sweep
+across 2240-35840 simulation cores and exposes the trend §V only hints
+at: the simulation step shrinks with scale, but the serial in-transit
+topology stage does not — so the staging buckets needed for temporal
+multiplexing grow roughly linearly with core count, until the in-transit
+stage itself must be parallelised ("this can easily be made parallel as
+well").
+
+Run standalone:  python benchmarks/bench_scaling.py
+"""
+
+import pytest
+
+from repro.core.campaign import Campaign
+from repro.util import TextTable
+
+
+def sweep():
+    campaign = Campaign(x_factors=(8, 16, 32, 64))
+    return campaign, campaign.sweep()
+
+
+def render(points) -> str:
+    t = TextTable(["sim cores", "sim step (s)", "in-situ frac",
+                   "topo in-transit (s)", "buckets needed",
+                   "moved MB/step", "ckpt write frac"],
+                  title="Scaling sweep (modeled; paper points: 4480, 8960)")
+    for p in points:
+        t.add_row([p.n_sim_cores, round(p.simulation_time, 2),
+                   f"{p.insitu_fraction:.1%}",
+                   round(p.topo_intransit_time, 1), p.buckets_needed,
+                   round(p.movement_mb_per_step, 1),
+                   f"{p.io_fraction:.1%}"])
+    return t.render()
+
+
+def test_paper_points_reproduced_in_sweep():
+    _c, points = sweep()
+    print("\n" + render(points))
+    by_cores = {p.n_sim_cores: p for p in points}
+    assert by_cores[4480].simulation_time == pytest.approx(16.85, rel=0.01)
+    assert by_cores[8960].simulation_time == pytest.approx(8.42, rel=0.01)
+
+
+def test_strong_scaling_ideal_in_model():
+    c, points = sweep()
+    for eff in c.strong_scaling_efficiency(points):
+        assert eff == pytest.approx(1.0, rel=0.01)
+
+
+def test_serial_stage_pressure_grows_linearly():
+    """Buckets needed ~ doubles with core count: the scaling wall of the
+    serial in-transit formulation."""
+    c, points = sweep()
+    demand = c.serial_stage_pressure(points)
+    assert demand == sorted(demand)
+    assert demand[-1] >= 3.5 * demand[0]
+    # at the paper's 4480-core point the demand (~8) fits comfortably in
+    # the 256 allocated in-transit cores
+    by_cores = {p.n_sim_cores: p for p in points}
+    assert by_cores[4480].buckets_needed <= 16
+
+
+def test_insitu_fraction_roughly_scale_invariant():
+    """Per-rank in-situ work shrinks with the block, so its *fraction* of
+    the (also shrinking) step stays flat — in-situ stages scale."""
+    _c, points = sweep()
+    fracs = [p.insitu_fraction for p in points]
+    assert max(fracs) / min(fracs) < 1.5
+
+
+def test_io_pressure_grows_with_scale():
+    """The checkpoint write is scale-independent while the step shrinks:
+    post-processing I/O takes an ever larger fraction — the I/O wall that
+    motivates the whole paper."""
+    _c, points = sweep()
+    fracs = [p.io_fraction for p in points]
+    assert fracs == sorted(fracs)
+    assert fracs[-1] > 3 * fracs[0]
+
+
+def test_campaign_validation():
+    with pytest.raises(ValueError):
+        Campaign(x_factors=(7,))  # does not divide 1600
+
+
+def test_campaign_benchmark(benchmark):
+    campaign = Campaign(x_factors=(16,))
+    points = benchmark(campaign.sweep)
+    assert len(points) == 1
+
+
+if __name__ == "__main__":
+    print(render(sweep()[1]))

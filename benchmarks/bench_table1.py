@@ -1,0 +1,69 @@
+"""Table I: core allocations, data sizes, simulation and I/O times.
+
+Regenerates both columns (4896 and 9440 cores) from the machine model and
+Jaguar calibration, and checks the paper's shape claims: perfect strong
+scaling of the simulation step, core-count-independent I/O, 98.5 GB state.
+
+Run standalone:  python benchmarks/bench_table1.py
+"""
+
+import pytest
+
+from repro.core import ExperimentConfig, ScaledExperiment
+from repro.util import TextTable
+
+PAPER = {
+    "4896 cores": {"sim": 16.85, "read": 6.56, "write": 3.28, "gb": 98.5},
+    "9440 cores": {"sim": 8.42, "read": 6.56, "write": 3.28, "gb": 98.5},
+}
+
+
+def generate_table1():
+    configs = [ExperimentConfig.paper_4896(), ExperimentConfig.paper_9440()]
+    return {c.name: ScaledExperiment(c).breakdown() for c in configs}
+
+
+def render(breakdowns) -> str:
+    t = TextTable(["", *breakdowns], title="Table I (modeled)")
+    rows = [
+        ("No. of simulation/in-situ cores", lambda b: b.n_sim_cores),
+        ("No. of DataSpaces-service cores", lambda b: b.n_service_cores),
+        ("No. of in-transit cores", lambda b: b.n_intransit_cores),
+        ("Volume size", lambda b: "x".join(map(str, b.global_shape))),
+        ("No. of variables", lambda b: b.n_vars),
+        ("Data size (GB)", lambda b: round(b.data_gb, 1)),
+        ("Simulation time (sec.)", lambda b: round(b.simulation_time, 2)),
+        ("I/O read time (sec.)", lambda b: round(b.io_read_time, 2)),
+        ("I/O write time (sec.)", lambda b: round(b.io_write_time, 2)),
+    ]
+    for name, get in rows:
+        t.add_row([name, *(get(b) for b in breakdowns.values())])
+    return t.render()
+
+
+def test_table1_rows_match_paper(benchmark):
+    breakdowns = benchmark(generate_table1)
+    print("\n" + render(breakdowns))
+    for col, paper in PAPER.items():
+        b = breakdowns[col]
+        assert b.simulation_time == pytest.approx(paper["sim"], rel=0.01)
+        assert b.io_read_time == pytest.approx(paper["read"], rel=0.02)
+        assert b.io_write_time == pytest.approx(paper["write"], rel=0.02)
+        assert b.data_gb == pytest.approx(paper["gb"], rel=0.01)
+
+
+def test_table1_shape_claims():
+    b = generate_table1()
+    # strong scaling: 2x cores -> simulation time halves
+    assert (b["4896 cores"].simulation_time
+            / b["9440 cores"].simulation_time) == pytest.approx(2.0, rel=0.01)
+    # I/O independent of core count (OST-limited)
+    assert b["4896 cores"].io_read_time == pytest.approx(
+        b["9440 cores"].io_read_time, rel=1e-6)
+    # allocations sum to the named totals
+    assert b["4896 cores"].n_cores == 4896
+    assert b["9440 cores"].n_cores == 9440
+
+
+if __name__ == "__main__":
+    print(render(generate_table1()))

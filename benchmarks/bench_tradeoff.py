@@ -1,0 +1,114 @@
+"""The abstract's headline claims: temporal resolution, I/O cost, time to
+insight — post-processing vs fully in-situ vs concurrent hybrid (§VI's
+planned trade-off study, implemented on the calibrated model).
+
+Paper claims regenerated:
+* "perform analyses at increased temporal resolutions" — stride 1 vs the
+  ~400-step checkpoint stride post-processing needs to stay affordable;
+* "mitigate I/O costs" — no raw checkpoints on the critical path;
+* "significantly improve the time to insight" — minutes instead of
+  waiting for the run to finish plus reading 98.5 GB back.
+
+Run standalone:  python benchmarks/bench_tradeoff.py
+"""
+
+import pytest
+
+from repro.core import ExperimentConfig, ScaledExperiment
+from repro.core.tradeoff import TradeoffModel
+from repro.util import TextTable, fmt_bytes, fmt_seconds
+
+RUN_STEPS = 2000  # a production campaign segment
+
+
+def build_outcomes():
+    model = TradeoffModel(ScaledExperiment(ExperimentConfig.paper_4896()))
+    return model, {
+        "post @400": model.postprocessing(400, RUN_STEPS),
+        "post @10": model.postprocessing(10, RUN_STEPS),
+        "post @1": model.postprocessing(1, RUN_STEPS),
+        "in-situ @1": model.fully_insitu(1),
+        "hybrid @1": model.concurrent_hybrid(1),
+        "hybrid @10": model.concurrent_hybrid(10),
+    }
+
+
+def render(outcomes) -> str:
+    t = TextTable(["strategy", "stride", "sim slowdown", "time to insight",
+                   "storage/analysed step"],
+                  title="Trade-off: analysis delivery strategies (4896 cores)")
+    for name, o in outcomes.items():
+        t.add_row([name, o.temporal_stride,
+                   f"{o.slowdown_percent:.2f}%",
+                   fmt_seconds(o.time_to_insight),
+                   fmt_bytes(o.storage_bytes)])
+    return t.render()
+
+
+def test_temporal_resolution_claim():
+    """Post-processing at every step costs ~19% simulation slowdown and
+    98.5 GB/step of storage; the hybrid analyses every step for a bounded
+    on-node cost (~27%, dominated by topology's subtree pass — and ~2.7%
+    at the every-10th-step cadence the paper says is typical)."""
+    model, o = build_outcomes()
+    print("\n" + render(o))
+    assert o["post @1"].slowdown_percent > 15.0
+    assert o["hybrid @1"].slowdown_percent < 30.0
+    assert o["hybrid @1"].temporal_stride == 1
+    assert o["post @400"].temporal_stride == 400
+
+
+def test_io_cost_claim():
+    """The hybrid persists ~1/70000th of the bytes per analysed step, and
+    its on-node cost buys *finished results*; a checkpoint write (3.28 s)
+    buys only raw data that still needs hours of post-hoc analysis."""
+    _model, o = build_outcomes()
+    assert o["hybrid @1"].storage_bytes < o["post @400"].storage_bytes / 1000
+    # same cadence, comparable on-node cost — but insight arrives ~100x
+    # sooner (the storage-vs-results asymmetry)
+    assert o["hybrid @10"].critical_path_per_step < \
+        2 * o["post @10"].critical_path_per_step
+    assert o["hybrid @10"].time_to_insight < o["post @10"].time_to_insight / 50
+
+
+def test_time_to_insight_claim():
+    """Concurrent insight arrives within ~2 simulation steps; post-
+    processing waits for the run (hours) plus read-back."""
+    model, o = build_outcomes()
+    sim = model.breakdown.simulation_time
+    assert o["hybrid @1"].time_to_insight < 10 * sim
+    assert o["post @400"].time_to_insight > 1000 * sim
+    ratio = o["post @400"].time_to_insight / o["hybrid @1"].time_to_insight
+    print(f"\ntime-to-insight improvement: {ratio:.0f}x")
+    assert ratio > 100
+
+
+def test_fully_insitu_topology_is_prohibitive():
+    """§II/§III: topology has no data-parallel formulation; running its
+    serial stage in-situ multiplies the step time several-fold — the
+    reason the hybrid split exists."""
+    _model, o = build_outcomes()
+    assert o["in-situ @1"].slowdown_percent > 300.0
+    assert o["hybrid @1"].slowdown_percent < o["in-situ @1"].slowdown_percent / 20
+
+
+def test_hybrid_cadence_sustainability():
+    """Stride-1 hybrid needs the multiplexing headroom; the paper's 256
+    in-transit cores provide it amply."""
+    model, o = build_outcomes()
+    assert model.sustainable(o["hybrid @1"])
+    tight = TradeoffModel(ScaledExperiment(ExperimentConfig.paper_4896()),
+                          n_buckets=2)
+    assert not tight.sustainable(tight.concurrent_hybrid(1))
+    assert tight.sustainable(tight.concurrent_hybrid(10))
+
+
+def test_tradeoff_benchmark(benchmark):
+    model, _ = build_outcomes()
+    out = benchmark(model.postprocessing, 400, RUN_STEPS)
+    assert out.temporal_stride == 400
+
+
+if __name__ == "__main__":
+    _m, outcomes = build_outcomes()
+    print(render(outcomes))

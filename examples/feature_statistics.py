@@ -1,0 +1,71 @@
+"""Feature-based statistics: merge trees x moments (paper §VI, implemented).
+
+The paper's future-work list includes "combining the merge tree
+computation ... with statistical analyses to enable the computation of
+feature-based statistics". This example does exactly that on the lifted
+flame: every step, the temperature field is segmented into merge-tree
+features (ignition kernels / burning regions), per-feature conditional
+statistics of temperature and the OH radical are computed with the same
+in-situ partial / in-transit merge pattern as the global statistics, and
+features are tracked over time so each track carries a statistical
+history.
+
+Run:  python examples/feature_statistics.py
+"""
+
+from repro.analysis.feature_stats import feature_statistics_hybrid
+from repro.analysis.topology import segment_superlevel, track_features
+from repro.sim import LiftedFlameCase, S3DProxy, StructuredGrid3D
+from repro.util import TextTable
+from repro.vmpi import BlockDecomposition3D
+
+
+def main() -> None:
+    shape = (32, 16, 12)
+    grid = StructuredGrid3D(shape, lengths=(4.0, 2.0, 1.5))
+    case = LiftedFlameCase(grid, seed=19, kernel_rate=1.5, kernel_amplitude=2.2)
+    solver = S3DProxy(case)
+    decomp = BlockDecomposition3D(shape, (2, 2, 1))
+
+    n_steps = 10
+    threshold = 1.6
+    print(f"simulating {n_steps} steps; per-step feature segmentation of "
+          f"T >= {threshold} + per-feature conditional statistics...")
+
+    segmentations = []
+    stats_per_step = []
+    for _ in range(n_steps):
+        solver.step()
+        seg = segment_superlevel(solver.fields["T"].copy(), threshold,
+                                 min_persistence=0.15)
+        fields = {"T": solver.fields["T"].copy(),
+                  "OH": solver.fields["OH"].copy()}
+        stats_per_step.append(feature_statistics_hybrid(seg, fields, decomp))
+        segmentations.append(seg)
+
+    tracks = track_features(segmentations)
+    durable = [t for t in tracks if t.lifetime >= 2]
+    print(f"\n{len(tracks)} features tracked; {len(durable)} lived >= 2 steps\n")
+
+    for track in durable:
+        table = TextTable(
+            ["step", "cells", "mean T", "max T", "T std", "mean OH"],
+            title=f"Track {track.track_id}: statistical history of one "
+                  f"feature (steps {track.birth}..{track.death})")
+        for step, label in zip(track.steps, track.labels):
+            fs = stats_per_step[step][label]
+            t_stats = fs.statistics["T"]
+            oh_stats = fs.statistics["OH"]
+            table.add_row([step, fs.n_cells, round(t_stats.mean, 3),
+                           round(t_stats.maximum, 3), round(t_stats.std, 3),
+                           f"{oh_stats.mean:.2e}"])
+        print(table)
+        print()
+
+    print("each row was produced by the hybrid pattern: per-rank partial "
+          "moments over the feature's cells, merged and derived serially — "
+          "the same staging-friendly payload as the global statistics.")
+
+
+if __name__ == "__main__":
+    main()

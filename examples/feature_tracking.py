@@ -1,0 +1,74 @@
+"""Feature tracking at high temporal resolution (paper Fig. 1).
+
+The paper's motivating observation: intermittent features (ignition
+kernels, small vortical structures) live ~10 simulation steps, but
+post-processing only sees every ~400th step — the features are born,
+advect, and die entirely between two snapshots.
+
+This example simulates the lifted flame, segments the temperature field
+into merge-tree features at every step, and tracks them by spatial
+overlap. It then re-runs tracking using only every 8th snapshot and shows
+the tracks disintegrate — exactly the failure mode concurrent analysis
+eliminates.
+
+Run:  python examples/feature_tracking.py
+"""
+
+from repro.analysis.topology import segment_superlevel, track_features
+from repro.analysis.topology.tracking import jaccard
+from repro.sim import LiftedFlameCase, S3DProxy, StructuredGrid3D
+from repro.util import TextTable
+
+
+def main() -> None:
+    shape = (32, 16, 12)
+    grid = StructuredGrid3D(shape, lengths=(4.0, 2.0, 1.5))
+    case = LiftedFlameCase(grid, seed=11, kernel_rate=1.2,
+                           kernel_amplitude=2.0)
+    solver = S3DProxy(case)
+
+    n_steps = 16
+    threshold = 1.6  # ignition kernels are well above the coflow T=1
+    segmentations = []
+    print(f"simulating {n_steps} steps, segmenting T >= {threshold} "
+          f"(merge-tree features, persistence-filtered)...")
+    for _ in range(n_steps):
+        solver.step()
+        seg = segment_superlevel(solver.fields["T"].copy(), threshold,
+                                 min_persistence=0.15)
+        segmentations.append(seg)
+
+    # --- full temporal resolution: every step -------------------------------
+    tracks = track_features(segmentations)
+    table = TextTable(["track", "birth step", "death step", "lifetime (steps)"],
+                      title="\nTracks at full temporal resolution")
+    for t in tracks:
+        table.add_row([t.track_id, t.birth, t.death, t.lifetime])
+    print(table)
+
+    durable = [t for t in tracks if t.lifetime >= 3]
+    if durable:
+        t = max(durable, key=lambda t: t.lifetime)
+        first, last = t.steps[0], t.steps[-1]
+        overlap = jaccard(segmentations[first], t.labels[0],
+                          segmentations[last], t.labels[-1])
+        print(f"\nlongest track: feature lived steps {first}..{last}; "
+              f"Jaccard overlap of first vs last footprint: {overlap:.3f}")
+        print("(the Fig. 1 'overlap' panel: nonzero because consecutive-step "
+              "connectivity bridges the motion)")
+
+    # --- post-processing temporal resolution: every 8th step -----------------
+    coarse_idx = list(range(0, n_steps, 8))
+    coarse = [segmentations[i] for i in coarse_idx]
+    coarse_tracks = track_features(coarse, steps=coarse_idx)
+    broken = sum(1 for t in coarse_tracks if t.lifetime == 1)
+    print(f"\nsampling every 8th step instead: {len(coarse_tracks)} tracks, "
+          f"{broken} of them single-snapshot (connectivity lost)")
+    full_linked = sum(1 for t in tracks if t.lifetime > 1)
+    print(f"at full resolution {full_linked} of {len(tracks)} tracks span "
+          f"multiple steps — the temporal connectivity conventional "
+          f"post-processing cannot see")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Linked multi-view exploration (paper §III).
+
+"Multiple instances of each visualization mode can be dynamically created
+in-situ and/or in-transit on demand, enabling scientists to explore
+different aspects of simulation and analysis data in linked-views."
+
+This example builds a four-view session over one flame state — overview
+temperature (in-situ full-res), zoomed temperature, the OH radical field
+(hybrid/down-sampled), and water vapour — then selects the largest
+merge-tree feature and renders all views again with the *same* feature
+highlighted, the linked-selection interaction.
+
+Run:  python examples/linked_views.py
+"""
+
+import pathlib
+
+from repro.analysis.topology import segment_superlevel
+from repro.analysis.visualization import Camera, ViewSession, ViewSpec
+from repro.sim import LiftedFlameCase, S3DProxy, StructuredGrid3D
+from repro.util import image_rmse, write_ppm
+from repro.vmpi import BlockDecomposition3D
+
+
+def main() -> None:
+    shape = (32, 24, 16)
+    grid = StructuredGrid3D(shape, lengths=(4.0, 3.0, 2.0))
+    solver = S3DProxy(LiftedFlameCase(grid, seed=3, kernel_rate=2.0))
+    print("advancing the flame 6 steps...")
+    solver.step(6)
+    fields = {name: solver.fields[name] for name in ("T", "OH", "H2O")}
+    decomp = BlockDecomposition3D(shape, (2, 2, 2))
+
+    session = ViewSession(decomp, views=[
+        ViewSpec(name="T-overview", variable="T",
+                 camera=Camera(image_shape=(48, 48))),
+        ViewSpec(name="T-zoom", variable="T",
+                 camera=Camera(image_shape=(48, 48), zoom=2.5,
+                               center=(10.0, 12.0, 8.0))),
+        ViewSpec(name="OH-hybrid", variable="OH", mode="hybrid",
+                 downsample_stride=2, camera=Camera(image_shape=(48, 48))),
+    ])
+    # "created ... on demand":
+    session.add_view(ViewSpec(name="H2O-product", variable="H2O",
+                              camera=Camera(image_shape=(48, 48))))
+
+    print(f"session views: {session.view_names}")
+    plain = session.render_all(fields)
+
+    # linked selection: the largest hot feature, highlighted everywhere
+    seg = segment_superlevel(fields["T"], 1.5, min_persistence=0.2)
+    if seg.features:
+        label = max(seg.features, key=lambda l: seg.features[l].n_cells)
+        feat = seg.features[label]
+        print(f"\nselecting feature {label}: {feat.n_cells} cells, "
+              f"max T {feat.max_value:.2f}")
+        linked = session.render_all(fields, highlight=(seg, label))
+    else:
+        print("\nno features above threshold; rendering unlinked")
+        linked = plain
+
+    outdir = pathlib.Path("linked_views")
+    outdir.mkdir(exist_ok=True)
+    for name in session.view_names:
+        write_ppm(outdir / f"{name}.ppm", plain[name])
+        write_ppm(outdir / f"{name}_linked.ppm", linked[name])
+        delta = image_rmse(plain[name], linked[name])
+        print(f"  {name:14s} highlight footprint RMSE {delta:.4f}")
+    print(f"\nimages written under {outdir}/ — the selected region is "
+          f"outlined in every view, across variables and modes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Replay the paper's full-scale Jaguar experiment on the machine model.
+
+Reproduces Table I (core allocations, data size, simulation and I/O times
+at 4896 and 9440 cores), Table II (per-analysis in-situ / movement /
+in-transit costs), and demonstrates the temporal multiplexing that lets a
+119.8-second serial topology stage keep up with a 16.85-second simulation
+step.
+
+Run:  python examples/scaled_experiment.py
+"""
+
+from repro.core import AnalyticsVariant, ExperimentConfig, ScaledExperiment
+from repro.core.workload import HYBRID_VARIANTS
+from repro.util import TextTable
+
+
+def main() -> None:
+    configs = [ExperimentConfig.paper_4896(), ExperimentConfig.paper_9440()]
+    experiments = [ScaledExperiment(c) for c in configs]
+    breakdowns = [e.breakdown() for e in experiments]
+
+    t1 = TextTable(["", configs[0].name, configs[1].name],
+                   title="Table I (modeled on the Jaguar XK6 calibration)")
+    t1.add_row(["No. of simulation/in-situ cores",
+                *(b.n_sim_cores for b in breakdowns)])
+    t1.add_row(["No. of DataSpaces-service cores",
+                *(b.n_service_cores for b in breakdowns)])
+    t1.add_row(["No. of in-transit cores",
+                *(b.n_intransit_cores for b in breakdowns)])
+    t1.add_row(["Data size (GB)", *(round(b.data_gb, 1) for b in breakdowns)])
+    t1.add_row(["Simulation time (sec.)",
+                *(round(b.simulation_time, 2) for b in breakdowns)])
+    t1.add_row(["I/O read time (sec.)",
+                *(round(b.io_read_time, 2) for b in breakdowns)])
+    t1.add_row(["I/O write time (sec.)",
+                *(round(b.io_write_time, 2) for b in breakdowns)])
+    print(t1)
+
+    b = breakdowns[0]
+    t2 = TextTable(["analysis", "in-situ (s)", "movement (s)",
+                    "movement (MB)", "in-transit (s)"],
+                   title="\nTable II at 4896 cores (per simulation time step)")
+    for variant in AnalyticsVariant:
+        t2.add_row(b.analytics[variant.value].table_row())
+    print(t2)
+
+    viz = b.analytics[AnalyticsVariant.VIS_INSITU.value]
+    stats = b.analytics[AnalyticsVariant.STATS_INSITU.value]
+    print(f"\nin-situ visualization is {100 * viz.insitu_time / b.simulation_time:.2f}% "
+          f"of the simulation step (paper: 4.33%)")
+    print(f"in-situ statistics is {100 * stats.insitu_time / b.simulation_time:.2f}% "
+          f"of the simulation step (paper: 9.73%)")
+
+    print("\nTemporal multiplexing (DES replay of the staging schedule,"
+          " topology only):")
+    for n_buckets in (1, 4, 8, 16):
+        sched = experiments[0].run_schedule(
+            n_steps=8, n_buckets=n_buckets,
+            analyses=(AnalyticsVariant.TOPO_HYBRID,))
+        state = "keeps pace" if sched.keeps_pace() else "queue grows"
+        print(f"  {n_buckets:3d} staging buckets: max queue wait "
+              f"{sched.max_queue_wait():8.2f} s -> {state}")
+    print("\nthe ~120 s serial glue is hidden by assigning successive "
+          "timesteps to different buckets — analysis at every step without "
+          "slowing the simulation")
+
+
+if __name__ == "__main__":
+    main()

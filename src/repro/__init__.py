@@ -1,0 +1,36 @@
+"""repro — hybrid in-situ/in-transit scientific analysis.
+
+A complete Python reproduction of Bennett et al., *Combining In-situ and
+In-transit Processing to Enable Extreme-Scale Scientific Analysis*
+(SC 2012, DOI 10.1109/SC.2012.31). See README.md for the architecture and
+DESIGN.md for the reproduction methodology.
+
+Top-level convenience re-exports cover the high-level public API; the
+subpackages (:mod:`repro.core`, :mod:`repro.analysis`, :mod:`repro.sim`,
+:mod:`repro.staging`, :mod:`repro.transport`, :mod:`repro.machine`,
+:mod:`repro.costmodel`, :mod:`repro.io`, :mod:`repro.vmpi`,
+:mod:`repro.des`) expose the full surface.
+"""
+
+from repro.core import (
+    AnalyticsVariant,
+    ExperimentConfig,
+    HybridFramework,
+    ScaledExperiment,
+)
+from repro.sim import LiftedFlameCase, S3DProxy, StructuredGrid3D
+from repro.vmpi import BlockDecomposition3D
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AnalyticsVariant",
+    "ExperimentConfig",
+    "HybridFramework",
+    "ScaledExperiment",
+    "LiftedFlameCase",
+    "S3DProxy",
+    "StructuredGrid3D",
+    "BlockDecomposition3D",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""The three reformulated analyses of §III.
+
+* :mod:`repro.analysis.statistics` — descriptive statistics via
+  numerically stable, single-pass parallel moment accumulation
+  (learn / derive / assess / test, Fig. 4);
+* :mod:`repro.analysis.topology` — merge trees: in-situ local subtrees +
+  in-transit streaming glue, simplification, segmentation, tracking
+  (Figs. 1 and 3);
+* :mod:`repro.analysis.visualization` — volume rendering: full-resolution
+  in-situ ray casting vs. in-situ down-sampling + in-transit rendering
+  with a block look-up table (Fig. 2).
+"""

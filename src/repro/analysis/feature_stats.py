@@ -1,0 +1,112 @@
+"""Feature-based statistics: merge-tree segmentation x moment statistics.
+
+Paper §VI: "we plan ... combining the merge tree computation presented in
+this work with statistical analyses to enable the computation of
+feature-based statistics such as those present in the corresponding
+post-processing tools [30], [43]."
+
+The hybrid formulation composes the two existing pipelines:
+
+* **in-situ** — each rank, given the (already in-situ) feature labels of
+  its block, accumulates one :class:`MomentAccumulator` per (feature,
+  variable) over the cells it owns — tiny, mergeable partial models;
+* **in-transit** — a serial stage merges partials by feature id and
+  derives per-feature descriptive statistics (conditional statistics of
+  any variable over each burning region / ignition kernel / eddy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.statistics.moments import MomentAccumulator, merge_accumulators
+from repro.analysis.statistics.stages import DerivedStatistics, derive
+from repro.analysis.topology.segmentation import Segmentation
+
+#: partial models: {feature label: {variable: accumulator}}
+FeaturePartials = dict[int, dict[str, MomentAccumulator]]
+
+
+def learn_feature_partials(labels_block: np.ndarray,
+                           fields_block: dict[str, np.ndarray]
+                           ) -> FeaturePartials:
+    """The in-situ stage for one rank.
+
+    ``labels_block``: this rank's slice of the segmentation labels
+    (-1 = background). ``fields_block``: this rank's blocks of the
+    variables to condition.
+    """
+    labels_block = np.asarray(labels_block)
+    out: FeaturePartials = {}
+    feature_ids = np.unique(labels_block[labels_block >= 0])
+    for fid in feature_ids:
+        mask = labels_block == fid
+        per_var: dict[str, MomentAccumulator] = {}
+        for name, data in fields_block.items():
+            data = np.asarray(data)
+            if data.shape != labels_block.shape:
+                raise ValueError(
+                    f"variable {name!r} shape {data.shape} != labels "
+                    f"{labels_block.shape}")
+            per_var[name] = MomentAccumulator.from_data(data[mask])
+        out[int(fid)] = per_var
+    return out
+
+
+def merge_feature_partials(partials: list[FeaturePartials]
+                           ) -> FeaturePartials:
+    """The in-transit merge: combine per-rank partials by feature id.
+
+    A feature spanning several ranks contributes one partial per rank;
+    the pairwise moment-merge reassembles its global statistics exactly.
+    """
+    by_feature: dict[int, dict[str, list[MomentAccumulator]]] = {}
+    for p in partials:
+        for fid, per_var in p.items():
+            slot = by_feature.setdefault(fid, {})
+            for name, acc in per_var.items():
+                slot.setdefault(name, []).append(acc)
+    return {fid: {name: merge_accumulators(accs)
+                  for name, accs in per_var.items()}
+            for fid, per_var in by_feature.items()}
+
+
+@dataclass(frozen=True)
+class FeatureStatistics:
+    """Derived per-feature conditional statistics."""
+
+    feature: int
+    n_cells: int
+    statistics: dict[str, DerivedStatistics]
+
+
+def derive_feature_statistics(merged: FeaturePartials
+                              ) -> dict[int, FeatureStatistics]:
+    """Derive descriptive statistics for every feature and variable."""
+    out: dict[int, FeatureStatistics] = {}
+    for fid, per_var in merged.items():
+        stats = {name: derive(acc) for name, acc in per_var.items()}
+        n_cells = next(iter(per_var.values())).n if per_var else 0
+        out[fid] = FeatureStatistics(feature=fid, n_cells=n_cells,
+                                     statistics=stats)
+    return out
+
+
+def feature_statistics_hybrid(segmentation: Segmentation,
+                              fields: dict[str, np.ndarray],
+                              decomp) -> dict[int, FeatureStatistics]:
+    """Run the full hybrid pattern on a decomposed domain.
+
+    ``segmentation`` labels and ``fields`` are global; each rank's partial
+    is learned from its own block (pure data-parallel), then merged and
+    derived as the serial in-transit stage would.
+    """
+    partials = []
+    for block in decomp.blocks():
+        labels_block = segmentation.labels[block.slices]
+        fields_block = {name: data[block.slices]
+                        for name, data in fields.items()}
+        partials.append(learn_feature_partials(labels_block, fields_block))
+    return derive_feature_statistics(merge_feature_partials(partials))

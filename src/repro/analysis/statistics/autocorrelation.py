@@ -1,0 +1,163 @@
+"""Hybrid auto-correlative statistics (paper §VI future work).
+
+"We plan to develop a hybrid in-situ/in-transit auto-correlative
+statistical technique." This module implements it in the same
+learn/derive mold as the descriptive statistics:
+
+* **in-situ learn** — each rank keeps a short ring buffer of its block's
+  recent time levels and accumulates, per lag k, the single-pass
+  cross-sums ``(n, sum x_t, sum x_{t-k}, sum x_t^2, sum x_{t-k}^2,
+  sum x_t x_{t-k})`` over all cells and steps. The accumulator is tiny
+  (6 doubles per lag) and mergeable in any order — exactly the property
+  that made the moment statistics staging-friendly;
+* **in-transit derive** — a serial stage merges the per-rank partials and
+  derives the temporal autocorrelation function
+  ``rho(k) = cov(x_t, x_{t-k}) / (std(x_t) std(x_{t-k}))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class LagAccumulator:
+    """Single-pass cross-moment sums for one lag."""
+
+    n: int = 0
+    sum_x: float = 0.0     # current values  x_t
+    sum_y: float = 0.0     # lagged values   x_{t-k}
+    sum_xx: float = 0.0
+    sum_yy: float = 0.0
+    sum_xy: float = 0.0
+
+    def accumulate(self, current: np.ndarray, lagged: np.ndarray) -> None:
+        x = np.asarray(current, dtype=np.float64).ravel()
+        y = np.asarray(lagged, dtype=np.float64).ravel()
+        if x.shape != y.shape:
+            raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+        self.n += x.size
+        self.sum_x += float(x.sum())
+        self.sum_y += float(y.sum())
+        self.sum_xx += float((x * x).sum())
+        self.sum_yy += float((y * y).sum())
+        self.sum_xy += float((x * y).sum())
+
+    def merge(self, other: "LagAccumulator") -> "LagAccumulator":
+        return LagAccumulator(
+            n=self.n + other.n,
+            sum_x=self.sum_x + other.sum_x,
+            sum_y=self.sum_y + other.sum_y,
+            sum_xx=self.sum_xx + other.sum_xx,
+            sum_yy=self.sum_yy + other.sum_yy,
+            sum_xy=self.sum_xy + other.sum_xy,
+        )
+
+    def correlation(self) -> float:
+        """Pearson correlation of the (x_t, x_{t-k}) sample."""
+        if self.n < 2:
+            raise ValueError("need at least two samples to correlate")
+        n = self.n
+        cov = self.sum_xy / n - (self.sum_x / n) * (self.sum_y / n)
+        var_x = self.sum_xx / n - (self.sum_x / n) ** 2
+        var_y = self.sum_yy / n - (self.sum_y / n) ** 2
+        denom = math.sqrt(max(var_x, 0.0)) * math.sqrt(max(var_y, 0.0))
+        if denom == 0.0:
+            return 0.0
+        return min(1.0, max(-1.0, cov / denom))
+
+    PACKED_DOUBLES = 6
+
+    def pack(self) -> np.ndarray:
+        return np.array([float(self.n), self.sum_x, self.sum_y,
+                         self.sum_xx, self.sum_yy, self.sum_xy])
+
+    @classmethod
+    def unpack(cls, vec: np.ndarray) -> "LagAccumulator":
+        vec = np.asarray(vec, dtype=np.float64)
+        if vec.shape != (cls.PACKED_DOUBLES,):
+            raise ValueError(f"expected {cls.PACKED_DOUBLES} doubles, got {vec.shape}")
+        return cls(n=int(vec[0]), sum_x=float(vec[1]), sum_y=float(vec[2]),
+                   sum_xx=float(vec[3]), sum_yy=float(vec[4]),
+                   sum_xy=float(vec[5]))
+
+
+class AutocorrelationLearner:
+    """The in-situ stage: one per rank, fed the rank's block every step.
+
+    Keeps a ring buffer of the last ``max_lag`` blocks; each
+    :meth:`observe` call updates every lag's accumulator against the
+    buffered history.
+    """
+
+    def __init__(self, max_lag: int) -> None:
+        if max_lag < 1:
+            raise ValueError(f"max_lag must be >= 1, got {max_lag}")
+        self.max_lag = max_lag
+        self._history: list[np.ndarray] = []
+        self.lags: dict[int, LagAccumulator] = {
+            k: LagAccumulator() for k in range(1, max_lag + 1)}
+        self.steps_observed = 0
+
+    @property
+    def buffer_bytes(self) -> int:
+        """In-situ scratch footprint (the §III memory constraint)."""
+        return sum(h.nbytes for h in self._history)
+
+    def observe(self, block: np.ndarray) -> None:
+        """Feed this step's block; updates all available lags."""
+        block = np.asarray(block, dtype=np.float64)
+        for k in range(1, min(len(self._history), self.max_lag) + 1):
+            self.lags[k].accumulate(block, self._history[-k])
+        self._history.append(block.copy())
+        if len(self._history) > self.max_lag:
+            self._history.pop(0)
+        self.steps_observed += 1
+
+    def pack(self) -> np.ndarray:
+        """Wire format: max_lag x 6 doubles (the hybrid movement payload)."""
+        return np.concatenate([self.lags[k].pack()
+                               for k in range(1, self.max_lag + 1)])
+
+
+def derive_autocorrelation(packed_partials: list[np.ndarray],
+                           max_lag: int) -> dict[int, float]:
+    """The serial in-transit stage: merge per-rank partials, derive rho(k)."""
+    if not packed_partials:
+        raise ValueError("no partials to derive from")
+    k_doubles = LagAccumulator.PACKED_DOUBLES
+    expected = (max_lag * k_doubles,)
+    merged = {k: LagAccumulator() for k in range(1, max_lag + 1)}
+    for vec in packed_partials:
+        vec = np.asarray(vec, dtype=np.float64)
+        if vec.shape != expected:
+            raise ValueError(f"partial has shape {vec.shape}, expected {expected}")
+        for k in range(1, max_lag + 1):
+            acc = LagAccumulator.unpack(vec[(k - 1) * k_doubles:k * k_doubles])
+            merged[k] = merged[k].merge(acc)
+    return {k: acc.correlation() for k, acc in merged.items() if acc.n >= 2}
+
+
+def reference_autocorrelation(series: np.ndarray, max_lag: int
+                              ) -> dict[int, float]:
+    """Direct (batch) autocorrelation of a (steps, ...) series, for tests.
+
+    Correlates the flattened fields at t and t-k over all cells and all
+    valid step pairs — the same sample the streaming learner accumulates.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    out = {}
+    for k in range(1, max_lag + 1):
+        if series.shape[0] <= k:
+            break
+        x = series[k:].ravel()
+        y = series[:-k].ravel()
+        sx, sy = x.std(), y.std()
+        if sx == 0 or sy == 0:
+            out[k] = 0.0
+        else:
+            out[k] = float(((x - x.mean()) * (y - y.mean())).mean() / (sx * sy))
+    return out

@@ -1,0 +1,118 @@
+"""The two statistics deployments compared in the paper (§III, Fig. 6).
+
+* **Fully in-situ**: every rank learns on its block, an all-to-all model
+  exchange (allreduce over accumulators) gives every rank the consistent
+  global model, and derive runs redundantly everywhere.
+* **Hybrid in-situ/in-transit**: every rank learns on its block, ships its
+  *partial* model (7 doubles per variable) to a single serial in-transit
+  process, which merges and derives.
+
+Both produce identical global statistics — asserted by tests — and differ
+only in where the merge/derive happen and what moves over the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.statistics.moments import MomentAccumulator, merge_accumulators
+from repro.analysis.statistics.stages import DerivedStatistics, derive, learn
+from repro.vmpi.comm import VirtualComm
+
+
+@dataclass
+class InSituStatisticsResult:
+    """Output of the fully in-situ deployment."""
+
+    #: Per-rank copy of the derived model — identical on every rank.
+    per_rank_models: list[dict[str, DerivedStatistics]]
+    comm_time: float
+
+    @property
+    def statistics(self) -> dict[str, DerivedStatistics]:
+        return self.per_rank_models[0]
+
+
+@dataclass
+class HybridStatisticsResult:
+    """Output of the hybrid deployment."""
+
+    statistics: dict[str, DerivedStatistics]
+    #: Wire bytes of all partial models (the "data movement size" column).
+    partials_nbytes: int
+    n_partials: int
+
+
+class StatisticsEngine:
+    """Runs either deployment over per-rank blocks of named variables."""
+
+    def __init__(self, comm: VirtualComm) -> None:
+        self.comm = comm
+
+    # -- stage 1 (shared): per-rank learn --------------------------------------
+
+    def learn_partials(self, per_rank_fields: list[dict[str, np.ndarray]]
+                       ) -> list[dict[str, MomentAccumulator]]:
+        """Per-rank learn over every variable (entirely data-local)."""
+        if len(per_rank_fields) != self.comm.n_ranks:
+            raise ValueError(
+                f"expected {self.comm.n_ranks} rank blocks, got {len(per_rank_fields)}")
+        return [{name: learn(block) for name, block in fields.items()}
+                for fields in per_rank_fields]
+
+    # -- deployment A: fully in-situ ----------------------------------------------
+
+    def run_insitu(self, per_rank_fields: list[dict[str, np.ndarray]]
+                   ) -> InSituStatisticsResult:
+        """learn everywhere, allreduce-merge, derive everywhere."""
+        partials = self.learn_partials(per_rank_fields)
+        names = list(partials[0])
+        t0 = self.comm.tracker.total_time
+        merged_per_rank: list[dict[str, MomentAccumulator]] = [
+            {} for _ in range(self.comm.n_ranks)]
+        for name in names:
+            contributions = [p[name] for p in partials]
+            merged = self.comm.allreduce(contributions,
+                                         lambda a, b: a.merge(b))
+            for rank, acc in enumerate(merged):
+                merged_per_rank[rank][name] = acc
+        comm_time = self.comm.tracker.total_time - t0
+        models = [{name: derive(accs[name]) for name in names}
+                  for accs in merged_per_rank]
+        return InSituStatisticsResult(per_rank_models=models, comm_time=comm_time)
+
+    # -- deployment B: hybrid ------------------------------------------------------
+
+    def pack_partials(self, partials: list[dict[str, MomentAccumulator]]
+                      ) -> list[np.ndarray]:
+        """Serialise each rank's partial models to the wire format."""
+        return [np.concatenate([acc.pack() for acc in p.values()])
+                for p in partials]
+
+    def intransit_derive(self, packed: list[np.ndarray], names: list[str]
+                         ) -> dict[str, DerivedStatistics]:
+        """The serial in-transit stage: unpack, merge, derive."""
+        k = MomentAccumulator.PACKED_DOUBLES
+        per_var: dict[str, list[MomentAccumulator]] = {n: [] for n in names}
+        for vec in packed:
+            if vec.shape != (k * len(names),):
+                raise ValueError(
+                    f"packed partial has shape {vec.shape}, expected {(k * len(names),)}")
+            for i, name in enumerate(names):
+                per_var[name].append(MomentAccumulator.unpack(vec[i * k:(i + 1) * k]))
+        return {name: derive(merge_accumulators(accs))
+                for name, accs in per_var.items()}
+
+    def run_hybrid(self, per_rank_fields: list[dict[str, np.ndarray]]
+                   ) -> HybridStatisticsResult:
+        """learn in-situ, ship partials, merge+derive serially in-transit."""
+        partials = self.learn_partials(per_rank_fields)
+        names = list(partials[0])
+        packed = self.pack_partials(partials)
+        nbytes = sum(int(v.nbytes) for v in packed)
+        stats = self.intransit_derive(packed, names)
+        return HybridStatisticsResult(statistics=stats,
+                                      partials_nbytes=nbytes,
+                                      n_partials=len(packed))

@@ -1,0 +1,139 @@
+"""Multivariate (correlative) statistics: single-pass parallel covariance.
+
+The parallel statistics toolkit the paper deploys [21], [23] includes
+correlative statistics: per-rank accumulation of mean vectors and centered
+co-moment matrices, merged pairwise with the multivariate generalisation
+of the Pébay update formulas. The hybrid deployment ships
+``d + d(d+1)/2 + 1`` doubles per rank — still tiny, still mergeable in any
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class CovarianceAccumulator:
+    """n observations of a d-vector: mean vector + centered co-moments.
+
+    ``comoment[i, j] = sum_k (x_ki - mean_i)(x_kj - mean_j)``.
+    """
+
+    d: int
+    n: int = 0
+    mean: np.ndarray = field(default=None)  # type: ignore[assignment]
+    comoment: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.d < 1:
+            raise ValueError(f"d must be >= 1, got {self.d}")
+        if self.mean is None:
+            self.mean = np.zeros(self.d)
+        if self.comoment is None:
+            self.comoment = np.zeros((self.d, self.d))
+
+    @classmethod
+    def from_data(cls, columns: dict[str, np.ndarray] | np.ndarray
+                  ) -> tuple["CovarianceAccumulator", list[str]]:
+        """Accumulate a chunk; ``columns`` maps names to equal-length 1-D
+        arrays (or an ``(n, d)`` matrix, yielding numeric names)."""
+        if isinstance(columns, dict):
+            names = list(columns)
+            arrays = [np.asarray(columns[k], dtype=np.float64).ravel()
+                      for k in names]
+            lengths = {a.size for a in arrays}
+            if len(lengths) != 1:
+                raise ValueError(f"columns have differing lengths {lengths}")
+            X = np.stack(arrays, axis=1)
+        else:
+            X = np.asarray(columns, dtype=np.float64)
+            if X.ndim != 2:
+                raise ValueError(f"expected (n, d) data, got shape {X.shape}")
+            names = [f"v{i}" for i in range(X.shape[1])]
+        if not np.all(np.isfinite(X)):
+            raise ValueError("covariance accumulation requires finite data")
+        acc = cls(d=X.shape[1])
+        if X.shape[0] == 0:
+            return acc, names
+        acc.n = X.shape[0]
+        acc.mean = X.mean(axis=0)
+        centered = X - acc.mean
+        acc.comoment = centered.T @ centered
+        return acc, names
+
+    def merge(self, other: "CovarianceAccumulator") -> "CovarianceAccumulator":
+        """Pairwise merge (multivariate Pébay update)."""
+        if self.d != other.d:
+            raise ValueError(f"dimension mismatch: {self.d} vs {other.d}")
+        if other.n == 0:
+            return CovarianceAccumulator(self.d, self.n, self.mean.copy(),
+                                         self.comoment.copy())
+        if self.n == 0:
+            return CovarianceAccumulator(other.d, other.n, other.mean.copy(),
+                                         other.comoment.copy())
+        na, nb = self.n, other.n
+        n = na + nb
+        delta = other.mean - self.mean
+        mean = self.mean + delta * (nb / n)
+        comoment = (self.comoment + other.comoment
+                    + np.outer(delta, delta) * (na * nb / n))
+        return CovarianceAccumulator(self.d, n, mean, comoment)
+
+    # -- derive ----------------------------------------------------------------
+
+    def covariance(self, ddof: int = 1) -> np.ndarray:
+        if self.n <= ddof:
+            raise ValueError(f"need n > {ddof} observations, have {self.n}")
+        return self.comoment / (self.n - ddof)
+
+    def correlation(self) -> np.ndarray:
+        """Pearson correlation matrix (unit diagonal; zero-variance
+        variables yield zero off-diagonals)."""
+        cov = self.covariance()
+        std = np.sqrt(np.diag(cov))
+        out = np.eye(self.d)
+        for i in range(self.d):
+            for j in range(self.d):
+                if i != j and std[i] > 0 and std[j] > 0:
+                    out[i, j] = cov[i, j] / (std[i] * std[j])
+        return np.clip(out, -1.0, 1.0)
+
+    # -- wire format ---------------------------------------------------------------
+
+    def pack(self) -> np.ndarray:
+        """1 + d + d(d+1)/2 doubles (count, means, upper co-moments)."""
+        iu = np.triu_indices(self.d)
+        return np.concatenate([[float(self.n)], self.mean,
+                               self.comoment[iu]])
+
+    @classmethod
+    def unpack(cls, vec: np.ndarray, d: int) -> "CovarianceAccumulator":
+        vec = np.asarray(vec, dtype=np.float64)
+        expected = 1 + d + d * (d + 1) // 2
+        if vec.shape != (expected,):
+            raise ValueError(f"expected {expected} doubles for d={d}, "
+                             f"got {vec.shape}")
+        acc = cls(d=d, n=int(vec[0]), mean=vec[1:1 + d].copy())
+        comoment = np.zeros((d, d))
+        iu = np.triu_indices(d)
+        comoment[iu] = vec[1 + d:]
+        comoment = comoment + np.triu(comoment, 1).T
+        acc.comoment = comoment
+        return acc
+
+
+def merge_covariances(accs: list[CovarianceAccumulator]
+                      ) -> CovarianceAccumulator:
+    """Tree-order merge of many accumulators."""
+    if not accs:
+        raise ValueError("cannot merge an empty accumulator list")
+    work = list(accs)
+    while len(work) > 1:
+        nxt = [work[i].merge(work[i + 1]) for i in range(0, len(work) - 1, 2)]
+        if len(work) % 2:
+            nxt.append(work[-1])
+        work = nxt
+    return work[0]

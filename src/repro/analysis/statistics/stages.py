@@ -1,0 +1,88 @@
+"""The four statistics stages of Fig. 4: learn, derive, assess, test.
+
+"The learn stage calculates a primary statistical model from an input data
+set. Derive calculates a more detailed statistical model from a minimal
+model. The assess stage annotates each observation ... and the test stage
+calculates test statistic(s) for hypothesis testing purposes." Only
+*learn* communicates; the other three are embarrassingly local.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.statistics.moments import MomentAccumulator
+
+
+def learn(data: np.ndarray) -> MomentAccumulator:
+    """Primary model from raw observations (per-rank, no communication
+    here — the exchange happens when partial models are merged)."""
+    return MomentAccumulator.from_data(data)
+
+
+@dataclass(frozen=True)
+class DerivedStatistics:
+    """The detailed model: descriptive statistics through fourth order."""
+
+    n: int
+    minimum: float
+    maximum: float
+    mean: float
+    variance: float       # unbiased (sample) variance
+    std: float
+    skewness: float       # g1
+    kurtosis: float       # excess kurtosis g2
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "n": self.n, "min": self.minimum, "max": self.maximum,
+            "mean": self.mean, "variance": self.variance, "std": self.std,
+            "skewness": self.skewness, "kurtosis": self.kurtosis,
+        }
+
+
+def derive(model: MomentAccumulator) -> DerivedStatistics:
+    """Minimal model (moments) -> detailed model (descriptive statistics)."""
+    n = model.n
+    if n < 1:
+        raise ValueError("cannot derive statistics from an empty model")
+    variance = model.M2 / (n - 1) if n > 1 else 0.0
+    if model.M2 > 0 and n > 1:
+        m2 = model.M2 / n
+        skew = (model.M3 / n) / m2 ** 1.5
+        kurt = (model.M4 / n) / (m2 * m2) - 3.0
+    else:
+        skew = 0.0
+        kurt = 0.0
+    return DerivedStatistics(
+        n=n, minimum=model.minimum, maximum=model.maximum, mean=model.mean,
+        variance=variance, std=math.sqrt(max(variance, 0.0)),
+        skewness=skew, kurtosis=kurt,
+    )
+
+
+def assess(data: np.ndarray, stats: DerivedStatistics) -> np.ndarray:
+    """Annotate each observation with its z-score relative to the model.
+
+    Observations more than a few standard deviations out are exactly the
+    "interesting" cells (ignition kernels, extinction events) downstream
+    feature detectors consume.
+    """
+    x = np.asarray(data, dtype=np.float64)
+    if stats.std == 0.0:
+        return np.zeros_like(x)
+    return (x - stats.mean) / stats.std
+
+
+def test_mean_zscore(stats: DerivedStatistics, mu0: float) -> float:
+    """One-sample z statistic for ``H0: mean == mu0`` given the model.
+
+    Uses the model's own variance estimate (large-n regime of the runs the
+    paper targets, where z and t coincide).
+    """
+    if stats.n < 2 or stats.variance == 0.0:
+        raise ValueError("test requires n >= 2 and nonzero variance")
+    return (stats.mean - mu0) / math.sqrt(stats.variance / stats.n)

@@ -1,0 +1,144 @@
+"""Persistence pairing (elder rule) and topological simplification.
+
+"When combined with topological simplification and filtering, the
+resulting merge tree encodes a family of segmentations" (§III). Each
+local maximum is paired with the saddle where its branch merges into a
+branch carrying a higher maximum; *persistence* is the value span of the
+branch. Simplification removes branches below a persistence threshold,
+leaving the features scientists track (burning regions, ignition kernels,
+eddies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.topology.merge_tree import MergeTree
+
+
+@dataclass(frozen=True)
+class PersistencePair:
+    """One branch: a maximum, the saddle where it dies, and its span."""
+
+    maximum: int
+    saddle: int | None     # None for each component's global maximum
+    persistence: float     # inf for the global maximum
+
+
+def representative_maxima(tree: MergeTree) -> dict[int, int]:
+    """For every node, the highest maximum in its superlevel subtree.
+
+    The "representative" is the elder-rule survivor: the leaf with the
+    greatest (value, id) reachable going upward from the node.
+    """
+    rep: dict[int, int] = {}
+
+    def order_key(leaf: int) -> tuple[float, int]:
+        return (tree.value[leaf], leaf)
+
+    # Process nodes from highest to lowest so children are done first.
+    for node in sorted(tree.value, key=lambda n: (tree.value[n], n), reverse=True):
+        kids = tree.children(node)
+        if not kids:
+            rep[node] = node
+        else:
+            rep[node] = max((rep[k] for k in kids), key=order_key)
+    return rep
+
+
+def persistence_pairs(tree: MergeTree) -> list[PersistencePair]:
+    """Elder-rule pairing of every maximum in the tree.
+
+    At each saddle, the child branch whose representative maximum is
+    highest survives; every other child branch's representative dies
+    there. Works on augmented trees too (chain nodes are transparent).
+    """
+    rep = representative_maxima(tree)
+    pairs: list[PersistencePair] = []
+    paired: set[int] = set()
+    for node in tree.value:
+        kids = tree.children(node)
+        if len(kids) < 2:
+            continue
+        survivor = rep[node]
+        for k in kids:
+            if rep[k] != survivor and rep[k] not in paired:
+                paired.add(rep[k])
+                pairs.append(PersistencePair(
+                    maximum=rep[k], saddle=node,
+                    persistence=tree.value[rep[k]] - tree.value[node]))
+    for root in tree.roots():
+        m = rep[root]
+        if m not in paired:
+            pairs.append(PersistencePair(maximum=m, saddle=None,
+                                         persistence=float("inf")))
+    pairs.sort(key=lambda p: (-p.persistence, p.maximum))
+    return pairs
+
+
+def simplify(tree: MergeTree, threshold: float) -> MergeTree:
+    """Remove branches with persistence below ``threshold``.
+
+    Returns a new *reduced* tree whose leaves are exactly the maxima with
+    persistence >= threshold (component-global maxima always survive).
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    base = tree.reduced()
+    pairs = persistence_pairs(base)
+    keep_leaves = {p.maximum for p in pairs if p.persistence >= threshold}
+    if not keep_leaves:
+        raise AssertionError("component maxima have infinite persistence")
+
+    out = MergeTree()
+    # For each kept leaf, walk down recording the path; saddles where two
+    # kept paths first meet are the surviving saddles.
+    owner: dict[int, int] = {}
+    surviving_saddles: set[int] = set()
+    for leaf in sorted(keep_leaves, key=lambda m: (base.value[m], m),
+                       reverse=True):
+        node: int | None = leaf
+        while node is not None:
+            if node in owner:
+                surviving_saddles.add(node)
+                break
+            owner[node] = leaf
+            node = base.parent[node]
+
+    kept_nodes = keep_leaves | surviving_saddles
+    for n in kept_nodes:
+        out.add_node(n, base.value[n])
+    for n in kept_nodes:
+        p = base.parent[n]
+        while p is not None and p not in kept_nodes:
+            p = base.parent[p]
+        if p is not None and p != n:
+            out.set_parent(n, p)
+    return out.reduced()
+
+
+def surviving_maximum_map(tree: MergeTree, threshold: float) -> dict[int, int]:
+    """Map every maximum to the surviving maximum after simplification.
+
+    A maximum with persistence below ``threshold`` is absorbed by the
+    representative maximum at its pair saddle (applied transitively).
+    Used by segmentation to relabel feature regions.
+    """
+    base = tree.reduced()
+    rep = representative_maxima(base)
+    pairs = {p.maximum: p for p in persistence_pairs(base)}
+    absorb: dict[int, int] = {}
+    for m, pair in pairs.items():
+        if pair.saddle is not None and pair.persistence < threshold:
+            absorb[m] = rep[pair.saddle]
+    out: dict[int, int] = {}
+    for m in pairs:
+        cur = m
+        seen = {cur}
+        while cur in absorb:
+            cur = absorb[cur]
+            if cur in seen:
+                raise AssertionError("cycle in absorption chain")
+            seen.add(cur)
+        out[m] = cur
+    return out

@@ -1,0 +1,72 @@
+"""Parallel-projection camera and ray generation.
+
+All renderers march the same rays: a parallel projection defined by
+azimuth/elevation angles around the volume center, with the image plane
+sized to cover the volume's bounding box (scaled by ``zoom`` — Fig. 2's
+overview vs. zoom-in views differ only in this parameter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Camera:
+    """Orthographic camera orbiting the volume center."""
+
+    azimuth_deg: float = 30.0
+    elevation_deg: float = 20.0
+    image_shape: tuple[int, int] = (64, 64)
+    zoom: float = 1.0
+    #: Center of attention in grid-index space; None = volume center.
+    center: tuple[float, float, float] | None = None
+
+    def __post_init__(self) -> None:
+        h, w = self.image_shape
+        if h < 1 or w < 1:
+            raise ValueError(f"image_shape must be positive, got {self.image_shape}")
+        if self.zoom <= 0:
+            raise ValueError(f"zoom must be positive, got {self.zoom}")
+
+    def basis(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(view_dir, right, up) orthonormal basis; view_dir points *into*
+        the scene."""
+        az = np.deg2rad(self.azimuth_deg)
+        el = np.deg2rad(self.elevation_deg)
+        view = -np.array([np.cos(el) * np.cos(az),
+                          np.cos(el) * np.sin(az),
+                          np.sin(el)])
+        world_up = np.array([0.0, 0.0, 1.0])
+        if abs(np.dot(view, world_up)) > 0.999:
+            world_up = np.array([1.0, 0.0, 0.0])
+        right = np.cross(view, world_up)
+        right /= np.linalg.norm(right)
+        up = np.cross(right, view)
+        return view, right, up
+
+    def rays(self, volume_shape: tuple[int, int, int]
+             ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Ray origins, shared direction, and march length.
+
+        Origins lie on a plane behind the volume; every ray marches
+        ``t_len`` cells. Returns ``(origins (H, W, 3), direction (3,),
+        t_len)``.
+        """
+        view, right, up = self.basis()
+        shape = np.asarray(volume_shape, dtype=np.float64)
+        center = (np.asarray(self.center, dtype=np.float64)
+                  if self.center is not None else (shape - 1.0) / 2.0)
+        radius = float(np.linalg.norm(shape)) / 2.0
+        extent = radius / self.zoom
+
+        h, w = self.image_shape
+        ys = np.linspace(-extent, extent, h)
+        xs = np.linspace(-extent, extent, w)
+        # Pixel (0, 0) is the image's top-left: +up is toward row 0.
+        offsets = (ys[::-1, None, None] * up[None, None, :]
+                   + xs[None, :, None] * right[None, None, :])
+        origins = center + offsets - view * radius
+        return origins, view, 2.0 * radius

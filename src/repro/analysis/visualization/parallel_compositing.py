@@ -1,0 +1,141 @@
+"""Binary-swap parallel image compositing.
+
+The fully in-situ renderer at the paper's scale composites partial images
+across 4480 ranks; production in-situ renderers (including [3]) use
+*binary swap*: in round r, rank pairs differing in bit r exchange
+complementary halves of their current image region and composite the half
+they keep; after log2(p) rounds each rank owns a fully composited 1/p of
+the image, gathered at the end. Per-rank traffic is ~1 image regardless
+of p, versus ~p images for naive serial compositing at a single root.
+
+This module provides the functional algorithm over the virtual ranks
+(verified equal to direct compositing) and its analytic cost model.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.machine.gemini import GeminiNetwork
+
+
+def _over(front_rgb: np.ndarray, front_a: np.ndarray,
+          back_rgb: np.ndarray, back_a: np.ndarray
+          ) -> tuple[np.ndarray, np.ndarray]:
+    """Premultiplied 'over' of two partial images."""
+    weight = 1.0 - front_a
+    return (front_rgb + weight[..., None] * back_rgb,
+            front_a + weight * back_a)
+
+
+def binary_swap_composite(partials: list[tuple[np.ndarray, np.ndarray]],
+                          order: list[int]
+                          ) -> tuple[np.ndarray, np.ndarray, int]:
+    """Composite per-rank (premultiplied RGB, alpha) images by binary swap.
+
+    ``order`` is the front-to-back visibility order of the ranks (see
+    :func:`~repro.analysis.visualization.compositing.visibility_order`);
+    the swap runs over ranks *in that order*, so pairwise composites are
+    always front-over-back. The rank count must be a power of two (pad
+    with empty partials otherwise — helper below).
+
+    Returns ``(rgb, alpha, bytes_exchanged_per_rank)``; the byte count is
+    the maximum over ranks of the bytes each sent, for the cost model.
+    """
+    p = len(partials)
+    if p == 0:
+        raise ValueError("no partial images")
+    if p & (p - 1):
+        raise ValueError(f"binary swap needs a power-of-two rank count, got {p}")
+    if sorted(order) != list(range(p)):
+        raise ValueError("order must be a permutation of the ranks")
+    h, w, _ = partials[0][0].shape
+
+    # Work in visibility order: position i holds the i-th closest partial.
+    rgb = [partials[r][0].reshape(h * w, 3).copy() for r in order]
+    alpha = [partials[r][1].reshape(h * w).copy() for r in order]
+    # Each position's current region of responsibility [lo, hi).
+    region = [(0, h * w)] * p
+    bytes_sent = [0] * p
+
+    rounds = int(math.log2(p))
+    for r in range(rounds):
+        stride = 1 << r
+        for i in range(p):
+            partner = i ^ stride
+            if partner < i:
+                continue
+            lo, hi = region[i]
+            assert region[partner] == (lo, hi)
+            mid = (lo + hi) // 2
+            # i (closer in visibility order) keeps the front half-region
+            # composited over partner's; partner keeps the back half.
+            # (Regions are image-space halves; "front/back" refers to the
+            # compositing operand order, i being in front of partner.)
+            i_rgb, i_a = rgb[i], alpha[i]
+            p_rgb, p_a = rgb[partner], alpha[partner]
+            # exchange: i sends its [mid, hi) to partner, receives
+            # partner's [lo, mid).
+            bytes_sent[i] += (hi - mid) * 4 * 8
+            bytes_sent[partner] += (mid - lo) * 4 * 8
+            new_i_rgb, new_i_a = _over(i_rgb[lo:mid], i_a[lo:mid],
+                                       p_rgb[lo:mid], p_a[lo:mid])
+            new_p_rgb, new_p_a = _over(i_rgb[mid:hi], i_a[mid:hi],
+                                       p_rgb[mid:hi], p_a[mid:hi])
+            i_rgb[lo:mid], i_a[lo:mid] = new_i_rgb, new_i_a
+            p_rgb[mid:hi], p_a[mid:hi] = new_p_rgb, new_p_a
+            region[i] = (lo, mid)
+            region[partner] = (mid, hi)
+
+    # Final gather: each position contributes its region.
+    out_rgb = np.zeros((h * w, 3))
+    out_a = np.zeros(h * w)
+    for i in range(p):
+        lo, hi = region[i]
+        out_rgb[lo:hi] = rgb[i][lo:hi]
+        out_a[lo:hi] = alpha[i][lo:hi]
+    return out_rgb.reshape(h, w, 3), out_a.reshape(h, w), max(bytes_sent)
+
+
+def pad_to_power_of_two(partials: list[tuple[np.ndarray, np.ndarray]]
+                        ) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Append fully transparent partials up to the next power of two."""
+    if not partials:
+        raise ValueError("no partial images")
+    p = len(partials)
+    target = 1 << (p - 1).bit_length()
+    h, w, _ = partials[0][0].shape
+    empty = (np.zeros((h, w, 3)), np.zeros((h, w)))
+    return list(partials) + [empty] * (target - p)
+
+
+def binary_swap_time(net: GeminiNetwork, n_ranks: int,
+                     image_bytes: int) -> float:
+    """Critical-path time of the swap + final gather on the network model.
+
+    Round r exchanges ``image_bytes / 2^(r+1)`` per rank; the gather
+    delivers ``image_bytes / p`` from each rank to the root.
+    """
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    if image_bytes < 0:
+        raise ValueError("image_bytes must be >= 0")
+    if n_ranks == 1:
+        return 0.0
+    p = 1 << (n_ranks - 1).bit_length()
+    total = 0.0
+    for r in range(int(math.log2(p))):
+        total += net.transfer_time(image_bytes >> (r + 1))
+    # root ingest of p-1 fragments of image_bytes / p
+    total += (p - 1) * net.transfer_time(max(image_bytes // p, 1))
+    return total
+
+
+def direct_send_time(net: GeminiNetwork, n_ranks: int,
+                     image_bytes: int) -> float:
+    """Naive alternative: every rank sends its full partial to one root."""
+    if n_ranks <= 1:
+        return 0.0
+    return (n_ranks - 1) * net.transfer_time(image_bytes)

@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``tables``    — print the modeled Table I and Table II reproductions;
+* ``simulate``  — run the functional hybrid pipeline on a small flame and
+  print per-step analysis results;
+* ``track``     — run the Fig.-1 feature-tracking experiment;
+* ``render``    — render the flame in both visualization modes to PPM;
+* ``tradeoff``  — print the post-processing vs concurrent trade-off table;
+* ``schedule``  — replay the full-scale staging schedule and report
+  queue behaviour for a bucket count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.core import AnalyticsVariant, ExperimentConfig, ScaledExperiment
+    from repro.util import TextTable
+
+    configs = [ExperimentConfig.paper_4896(), ExperimentConfig.paper_9440()]
+    breakdowns = {c.name: ScaledExperiment(c).breakdown() for c in configs}
+    t1 = TextTable(["", *breakdowns], title="Table I (modeled)")
+    t1.add_row(["Simulation time (sec.)",
+                *(round(b.simulation_time, 2) for b in breakdowns.values())])
+    t1.add_row(["I/O read time (sec.)",
+                *(round(b.io_read_time, 2) for b in breakdowns.values())])
+    t1.add_row(["I/O write time (sec.)",
+                *(round(b.io_write_time, 2) for b in breakdowns.values())])
+    t1.add_row(["Data size (GB)",
+                *(round(b.data_gb, 1) for b in breakdowns.values())])
+    print(t1)
+
+    b = breakdowns[configs[0].name]
+    t2 = TextTable(["analysis", "in-situ (s)", "movement (s)", "movement (MB)",
+                    "in-transit (s)"],
+                   title="\nTable II at 4896 cores (modeled)")
+    for v in AnalyticsVariant:
+        t2.add_row(b.analytics[v.value].table_row())
+    print(t2)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core import HybridFramework
+    from repro.sim import LiftedFlameCase, StructuredGrid3D
+    from repro.util import TextTable, fmt_bytes
+    from repro.vmpi import BlockDecomposition3D
+
+    shape = tuple(args.grid)
+    grid = StructuredGrid3D(shape)
+    case = LiftedFlameCase(grid, seed=args.seed)
+    decomp = BlockDecomposition3D(shape, tuple(args.ranks))
+    fw = HybridFramework(case, decomp, n_buckets=args.buckets,
+                         streaming_topology=args.streaming)
+    result = fw.run(args.steps)
+    table = TextTable(["step", "mean T", "max T", "merge-tree maxima"])
+    for step in result.analysed_steps:
+        stats = result.statistics[step]["T"]
+        tree = result.merge_trees[step].reduced()
+        table.add_row([step, round(stats.mean, 4), round(stats.maximum, 3),
+                       len(tree.leaves())])
+    print(table)
+    print(f"intermediate data moved: {fmt_bytes(result.bytes_moved)}")
+    if args.report:
+        from repro.core.report import run_report
+        print("\n" + run_report(fw, result))
+    return 0
+
+
+def _cmd_track(args: argparse.Namespace) -> int:
+    from repro.analysis.topology import segment_superlevel, track_features
+    from repro.sim import LiftedFlameCase, S3DProxy, StructuredGrid3D
+    from repro.util import TextTable
+
+    grid = StructuredGrid3D((32, 16, 12), lengths=(4.0, 2.0, 1.5))
+    case = LiftedFlameCase(grid, seed=args.seed, kernel_rate=1.2)
+    solver = S3DProxy(case)
+    segs = []
+    for _ in range(args.steps):
+        solver.step()
+        segs.append(segment_superlevel(solver.fields["T"].copy(),
+                                       args.threshold, min_persistence=0.15))
+    tracks = track_features(segs)
+    table = TextTable(["track", "birth", "death", "lifetime"])
+    for t in tracks:
+        table.add_row([t.track_id, t.birth, t.death, t.lifetime])
+    print(table)
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.analysis.visualization import (
+        Camera,
+        TransferFunction,
+        downsample_decomposed,
+        render_blocks_insitu,
+        render_intransit,
+    )
+    from repro.sim import LiftedFlameCase, S3DProxy, StructuredGrid3D
+    from repro.util import image_rmse, write_ppm
+    from repro.vmpi import BlockDecomposition3D
+
+    shape = (32, 24, 16)
+    grid = StructuredGrid3D(shape, lengths=(4.0, 3.0, 2.0))
+    solver = S3DProxy(LiftedFlameCase(grid, seed=args.seed, kernel_rate=2.0))
+    solver.step(args.steps)
+    field = solver.fields["T"]
+    decomp = BlockDecomposition3D(shape, (2, 2, 2))
+    tf = TransferFunction.hot(float(field.min()), float(field.max()))
+    cam = Camera(image_shape=(args.size, args.size))
+    insitu = render_blocks_insitu(field, decomp, cam, tf)
+    hybrid = render_intransit(downsample_decomposed(field, decomp, args.stride),
+                              shape, cam, tf)
+    write_ppm(f"{args.prefix}_insitu.ppm", insitu)
+    write_ppm(f"{args.prefix}_hybrid.ppm", hybrid)
+    print(f"wrote {args.prefix}_insitu.ppm and {args.prefix}_hybrid.ppm "
+          f"(RMSE {image_rmse(insitu, hybrid):.4f})")
+    return 0
+
+
+def _cmd_tradeoff(args: argparse.Namespace) -> int:
+    from repro.core import ExperimentConfig, ScaledExperiment, TradeoffModel
+    from repro.util import TextTable, fmt_bytes, fmt_seconds
+
+    model = TradeoffModel(ScaledExperiment(ExperimentConfig.paper_4896()))
+    outcomes = {
+        f"post @{args.checkpoint_stride}": model.postprocessing(
+            args.checkpoint_stride, args.run_steps),
+        "hybrid @1": model.concurrent_hybrid(1),
+        "hybrid @10": model.concurrent_hybrid(10),
+        "in-situ @1": model.fully_insitu(1),
+    }
+    t = TextTable(["strategy", "stride", "sim slowdown", "time to insight",
+                   "storage/analysed step"])
+    for name, o in outcomes.items():
+        t.add_row([name, o.temporal_stride, f"{o.slowdown_percent:.2f}%",
+                   fmt_seconds(o.time_to_insight), fmt_bytes(o.storage_bytes)])
+    print(t)
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.core import AnalyticsVariant, ExperimentConfig, ScaledExperiment
+
+    exp = ScaledExperiment(ExperimentConfig.paper_4896())
+    sched = exp.run_schedule(n_steps=args.steps, n_buckets=args.buckets,
+                             analyses=(AnalyticsVariant.TOPO_HYBRID,))
+    state = "keeps pace" if sched.keeps_pace() else "queue grows"
+    print(f"{args.buckets} buckets over {args.steps} steps: "
+          f"max queue wait {sched.max_queue_wait():.2f} s "
+          f"({state}); makespan {sched.makespan:.1f} s")
+    return 0 if sched.keeps_pace() else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hybrid in-situ/in-transit analysis framework "
+                    "(SC'12 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print the Table I/II reproductions")
+
+    p = sub.add_parser("simulate", help="run the functional hybrid pipeline")
+    p.add_argument("--steps", type=int, default=5)
+    p.add_argument("--grid", type=int, nargs=3, default=[24, 16, 12])
+    p.add_argument("--ranks", type=int, nargs=3, default=[2, 2, 2])
+    p.add_argument("--buckets", type=int, default=4)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--streaming", action="store_true",
+                   help="stream the topology glue (§VI mode)")
+    p.add_argument("--report", action="store_true",
+                   help="print the full run report (tasks, occupancy)")
+
+    p = sub.add_parser("track", help="feature tracking (Fig. 1)")
+    p.add_argument("--steps", type=int, default=12)
+    p.add_argument("--threshold", type=float, default=1.6)
+    p.add_argument("--seed", type=int, default=11)
+
+    p = sub.add_parser("render", help="render both visualization modes")
+    p.add_argument("--steps", type=int, default=5)
+    p.add_argument("--stride", type=int, default=2)
+    p.add_argument("--size", type=int, default=48)
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--prefix", default="repro_render")
+
+    p = sub.add_parser("tradeoff", help="analysis delivery trade-off table")
+    p.add_argument("--checkpoint-stride", type=int, default=400)
+    p.add_argument("--run-steps", type=int, default=2000)
+
+    p = sub.add_parser("schedule", help="full-scale staging schedule replay")
+    p.add_argument("--steps", type=int, default=8)
+    p.add_argument("--buckets", type=int, default=8)
+    return parser
+
+
+_COMMANDS = {
+    "tables": _cmd_tables,
+    "simulate": _cmd_simulate,
+    "track": _cmd_track,
+    "render": _cmd_render,
+    "tradeoff": _cmd_tradeoff,
+    "schedule": _cmd_schedule,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""The hybrid in-situ/in-transit framework (the paper's contribution).
+
+Two complementary entry points:
+
+* :class:`~repro.core.framework.HybridFramework` — the *functional*
+  pipeline: drives a real :class:`~repro.sim.s3d.DecomposedS3D` simulation,
+  runs the real in-situ stages on every rank's block, moves intermediate
+  results through DART/DataSpaces on the DES engine, and executes the real
+  in-transit stages in staging buckets. Everything computes true values at
+  laptop scale.
+* :class:`~repro.core.runner.ScaledExperiment` — the *performance* replay:
+  the same workflow at the paper's full scale (4896/9440 cores,
+  1600x1372x430 grid), with computation and movement charged from the
+  calibrated Jaguar cost model and played out on the DES. Regenerates
+  Table I, Table II, and Fig. 6.
+"""
+
+from repro.core.breakdown import AnalyticsTiming, TimingBreakdown
+from repro.core.workload import AnalyticsVariant, ScaledWorkload
+from repro.core.runner import ExperimentConfig, ScaledExperiment
+from repro.core.framework import FrameworkResult, HybridFramework
+from repro.core.tradeoff import StrategyOutcome, TradeoffModel
+from repro.core.campaign import Campaign, ScalePoint
+from repro.core.report import run_report
+from repro.core.steering import SteeringRule
+
+__all__ = [
+    "AnalyticsTiming",
+    "TimingBreakdown",
+    "AnalyticsVariant",
+    "ScaledWorkload",
+    "ExperimentConfig",
+    "ScaledExperiment",
+    "FrameworkResult",
+    "HybridFramework",
+    "StrategyOutcome",
+    "TradeoffModel",
+    "Campaign",
+    "ScalePoint",
+    "run_report",
+    "SteeringRule",
+]

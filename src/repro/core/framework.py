@@ -1,0 +1,367 @@
+"""The functional hybrid pipeline: real simulation, real analytics, real
+data movement through the staging machinery — at laptop scale.
+
+``HybridFramework`` is the public high-level API a downstream user drives
+(and what the examples use): configure a lifted-flame case and a
+decomposition, choose analyses, call :meth:`run`. Per analysed timestep:
+
+* every rank runs its in-situ stage on its own block (statistics learn,
+  merge-tree boundary tree, down-sampling);
+* intermediate results are registered with DART and a grouped in-transit
+  task is pushed through the DataSpaces scheduler;
+* a staging bucket pulls the payloads and executes the in-transit stage
+  (serial derive / streaming glue / LUT render) — the *real* computation,
+  returning real models, trees and images.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.analysis.statistics.autocorrelation import (
+    AutocorrelationLearner,
+    derive_autocorrelation,
+)
+from repro.analysis.statistics.engine import StatisticsEngine
+from repro.analysis.statistics.moments import MomentAccumulator
+from repro.analysis.statistics.stages import DerivedStatistics
+from repro.analysis.topology.distributed import (
+    block_boundary_mask,
+    compute_block_boundary_trees,
+    cross_block_edges,
+    glue_boundary_trees,
+    global_id_array,
+)
+from repro.analysis.topology.local_tree import compute_boundary_tree
+from repro.analysis.topology.merge_tree import MergeTree
+from repro.analysis.topology.stream_merge import StreamingGlue
+from repro.analysis.visualization.camera import Camera
+from repro.analysis.visualization.compositing import render_blocks_insitu
+from repro.analysis.visualization.downsample import (
+    downsample_block,
+    render_intransit,
+)
+from repro.analysis.visualization.transfer_function import TransferFunction
+from repro.des import Engine
+from repro.sim.lifted_flame import LiftedFlameCase
+from repro.sim.s3d import DecomposedS3D
+from repro.staging.dataspaces import DataSpaces
+from repro.staging.descriptors import TaskResult
+from repro.transport.dart import DartTransport
+from repro.vmpi.comm import VirtualComm
+from repro.vmpi.decomp import BlockDecomposition3D
+
+
+@dataclass
+class FrameworkResult:
+    """Everything the pipeline produced, keyed by timestep."""
+
+    statistics: dict[int, dict[str, DerivedStatistics]] = field(default_factory=dict)
+    merge_trees: dict[int, MergeTree] = field(default_factory=dict)
+    hybrid_images: dict[int, np.ndarray] = field(default_factory=dict)
+    insitu_images: dict[int, np.ndarray] = field(default_factory=dict)
+    temperature_fields: dict[int, np.ndarray] = field(default_factory=dict)
+    #: lag -> temporal autocorrelation over the whole run (§VI extension).
+    autocorrelation: dict[int, float] = field(default_factory=dict)
+    #: step -> correlation matrix over the stats variables ([21] extension).
+    correlations: dict[int, np.ndarray] = field(default_factory=dict)
+    task_results: list[TaskResult] = field(default_factory=list)
+    #: Recorded steering-rule firings, in firing order.
+    steering_events: list = field(default_factory=list)
+    bytes_moved: int = 0
+
+    @property
+    def analysed_steps(self) -> list[int]:
+        steps = (set(self.statistics) | set(self.merge_trees)
+                 | set(self.hybrid_images) | set(self.insitu_images))
+        return sorted(steps)
+
+
+class HybridFramework:
+    """High-level driver of the hybrid in-situ/in-transit workflow."""
+
+    KNOWN_ANALYSES = ("statistics", "topology", "visualization",
+                      "visualization_insitu", "autocorrelation",
+                      "correlation")
+
+    def __init__(self, case: LiftedFlameCase, decomp: BlockDecomposition3D,
+                 analyses: tuple[str, ...] = ("statistics", "topology",
+                                              "visualization"),
+                 stats_variables: tuple[str, ...] = ("T", "H2", "OH"),
+                 topology_variable: str = "T",
+                 render_variable: str = "T",
+                 downsample_stride: int = 2,
+                 camera: Camera | None = None,
+                 transfer_function: TransferFunction | None = None,
+                 n_buckets: int = 4,
+                 keep_fields: bool = False,
+                 streaming_topology: bool = False,
+                 autocorrelation_variable: str = "T",
+                 autocorrelation_max_lag: int = 3,
+                 steering: tuple = ()) -> None:
+        for a in analyses:
+            if a not in self.KNOWN_ANALYSES:
+                raise ValueError(
+                    f"unknown analysis {a!r}; known: {self.KNOWN_ANALYSES}")
+        self.case = case
+        self.decomp = decomp
+        self.analyses = tuple(analyses)
+        self.stats_variables = tuple(stats_variables)
+        self.topology_variable = topology_variable
+        self.render_variable = render_variable
+        self.downsample_stride = downsample_stride
+        self.camera = camera or Camera(image_shape=(32, 32))
+        self.tf = transfer_function
+        self.n_buckets = n_buckets
+        self.keep_fields = keep_fields
+        self.streaming_topology = streaming_topology
+        self.autocorrelation_variable = autocorrelation_variable
+        if autocorrelation_max_lag < 1:
+            raise ValueError("autocorrelation_max_lag must be >= 1")
+        self.autocorrelation_max_lag = autocorrelation_max_lag
+        self.steering = tuple(steering)
+        #: Live analysis cadence; steering rules may change it mid-run.
+        self.analysis_interval = 1
+
+        self.solver = DecomposedS3D(case, decomp)
+        self.engine = Engine()
+        self.transport = DartTransport(self.engine)
+        self.dataspaces = DataSpaces(self.engine, self.transport, n_servers=2)
+        self.dataspaces.spawn_buckets(
+            [f"staging-{i}" for i in range(n_buckets)])
+        self._cross_edges = cross_block_edges(decomp)
+        self._ids = global_id_array(decomp.global_shape)
+        self._stats_engine = StatisticsEngine(VirtualComm(decomp.n_ranks))
+        self._autocorr_learners = [
+            AutocorrelationLearner(self.autocorrelation_max_lag)
+            for _ in range(decomp.n_ranks)
+        ] if "autocorrelation" in self.analyses else []
+
+    # -- per-analysis in-situ stages + task submission ---------------------------
+
+    def _gather(self, variable: str) -> np.ndarray:
+        return self.decomp.gather([p[variable] for p in self.solver.parts])
+
+    def _transfer_function(self, field_min: float, field_max: float
+                           ) -> TransferFunction:
+        if self.tf is not None:
+            return self.tf
+        return TransferFunction.hot(field_min, max(field_max, field_min + 1e-9))
+
+    def _submit_statistics(self, step: int) -> None:
+        partials = [
+            {name: MomentAccumulator.from_data(part[name])
+             for name in self.stats_variables}
+            for part in self.solver.parts
+        ]
+        packed = self._stats_engine.pack_partials(partials)
+        names = list(self.stats_variables)
+        descs = [self.transport.register(f"sim-{rank}", vec,
+                                         meta={"rank": rank})
+                 for rank, vec in enumerate(packed)]
+        engine = self._stats_engine
+
+        self.dataspaces.submit_grouped_result(
+            "statistics", step, descs,
+            compute=lambda payloads: engine.intransit_derive(payloads, names))
+
+    def _submit_topology(self, step: int) -> None:
+        boundary_trees = []
+        for rank, block in enumerate(self.decomp.blocks()):
+            values = self.solver.parts[rank][self.topology_variable]
+            bt = compute_boundary_tree(
+                values, self._ids[block.slices],
+                block_boundary_mask(block, self.decomp.global_shape))
+            boundary_trees.append(bt)
+        descs = [self.transport.register(f"sim-{rank}", bt,
+                                         nbytes=bt.nbytes, meta={"rank": rank})
+                 for rank, bt in enumerate(boundary_trees)]
+        cross = self._cross_edges
+
+        if self.streaming_topology:
+            # §VI streaming refinement: each subtree is glued the moment
+            # its pull completes; cross-block edges close the tree at the
+            # end (their endpoints are only all known once every block's
+            # boundary vertices have arrived).
+            def stream_one(state, bt):
+                glue = state if state is not None else StreamingGlue()
+                for vid, val in bt.nodes.items():
+                    glue.add_vertex(vid, val)
+                for hi, lo in bt.edges:
+                    glue.add_edge(hi, lo)
+                return glue
+
+            def finish(glue):
+                for u, v in cross:
+                    glue.add_edge(u, v)
+                return glue.finalize()
+
+            self.dataspaces.submit_grouped_result(
+                "topology", step, descs,
+                stream_compute=stream_one, stream_finalize=finish)
+        else:
+            self.dataspaces.submit_grouped_result(
+                "topology", step, descs,
+                compute=lambda payloads: glue_boundary_trees(payloads, cross))
+
+    def _submit_visualization(self, step: int) -> None:
+        blocks = []
+        for rank, block in enumerate(self.decomp.blocks()):
+            values = self.solver.parts[rank][self.render_variable]
+            blocks.append(downsample_block(values, block.lo, block.hi,
+                                           self.downsample_stride))
+        field_min = min(float(b.data.min()) for b in blocks)
+        field_max = max(float(b.data.max()) for b in blocks)
+        tf = self._transfer_function(field_min, field_max)
+        descs = [self.transport.register(f"sim-{rank}", b, meta={"rank": rank})
+                 for rank, b in enumerate(blocks)]
+        shape = self.decomp.global_shape
+        camera = self.camera
+
+        self.dataspaces.submit_grouped_result(
+            "visualization", step, descs,
+            compute=lambda payloads: render_intransit(payloads, shape,
+                                                      camera, tf))
+
+    def _submit_correlation(self, step: int) -> None:
+        """Multivariate statistics [21]: per-rank covariance partials,
+        merged and derived serially in-transit into a correlation matrix
+        over ``stats_variables``."""
+        from repro.analysis.statistics.multivariate import (
+            CovarianceAccumulator,
+            merge_covariances,
+        )
+        names = list(self.stats_variables)
+        d = len(names)
+        packed = []
+        for part in self.solver.parts:
+            acc, _ = CovarianceAccumulator.from_data(
+                {n: part[n].ravel() for n in names})
+            packed.append(acc.pack())
+        descs = [self.transport.register(f"sim-{rank}", vec,
+                                         meta={"rank": rank})
+                 for rank, vec in enumerate(packed)]
+
+        def derive_matrix(payloads):
+            accs = [CovarianceAccumulator.unpack(v, d) for v in payloads]
+            return merge_covariances(accs).correlation()
+
+        self.dataspaces.submit_grouped_result(
+            "correlation", step, descs, compute=derive_matrix)
+
+    def _observe_autocorrelation(self) -> None:
+        """Per-step in-situ stage: feed each rank's block to its learner."""
+        for learner, part in zip(self._autocorr_learners, self.solver.parts):
+            learner.observe(part[self.autocorrelation_variable])
+
+    def _submit_autocorrelation(self, step: int) -> None:
+        """Ship packed lag partials; serial in-transit derive of rho(k)."""
+        packed = [learner.pack() for learner in self._autocorr_learners]
+        descs = [self.transport.register(f"sim-{rank}", vec,
+                                         meta={"rank": rank})
+                 for rank, vec in enumerate(packed)]
+        max_lag = self.autocorrelation_max_lag
+
+        self.dataspaces.submit_grouped_result(
+            "autocorrelation", step, descs,
+            compute=lambda payloads: derive_autocorrelation(payloads, max_lag))
+
+    def _render_insitu(self, step: int, result: FrameworkResult) -> None:
+        field = self._gather(self.render_variable)
+        tf = self._transfer_function(float(field.min()), float(field.max()))
+        result.insitu_images[step] = render_blocks_insitu(
+            field, self.decomp, self.camera, tf)
+
+    # -- driver --------------------------------------------------------------------
+
+    def run(self, n_steps: int, analysis_interval: int = 1) -> FrameworkResult:
+        """Advance the simulation, analysing every ``analysis_interval``-th
+        step (step 0 state is analysed after the first advance).
+
+        The staging engine is drained after every step, so in-transit
+        results complete concurrently with the run and steering rules can
+        adjust the live cadence (``self.analysis_interval``).
+        """
+        if n_steps < 1:
+            raise ValueError(f"n_steps must be >= 1, got {n_steps}")
+        if analysis_interval < 1:
+            raise ValueError("analysis_interval must be >= 1")
+        self.analysis_interval = analysis_interval
+        result = FrameworkResult()
+        last_analysed: int | None = None
+        for step in range(n_steps):
+            self.solver.step()
+            if "autocorrelation" in self.analyses:
+                self._observe_autocorrelation()
+            due = (last_analysed is None
+                   or step - last_analysed >= self.analysis_interval)
+            if due:
+                last_analysed = step
+                if "statistics" in self.analyses:
+                    self._submit_statistics(step)
+                if "topology" in self.analyses:
+                    self._submit_topology(step)
+                if "visualization" in self.analyses:
+                    self._submit_visualization(step)
+                if "correlation" in self.analyses:
+                    self._submit_correlation(step)
+                if "visualization_insitu" in self.analyses:
+                    self._render_insitu(step, result)
+                if self.keep_fields:
+                    result.temperature_fields[step] = self._gather("T")
+            # Drain the staging engine: in-transit results for this step
+            # complete now, making steering decisions causal.
+            self.engine.run()
+            fresh = self._collect(result)
+            self._apply_steering(result, fresh)
+
+        if ("autocorrelation" in self.analyses
+                and self.solver.step_count > 1):
+            self._submit_autocorrelation(n_steps - 1)
+        self.dataspaces.shutdown_buckets()
+        self.engine.run()
+        self._collect(result)
+        result.bytes_moved = self.transport.bytes_moved()
+        return result
+
+    def _collect(self, result: FrameworkResult) -> list[TaskResult]:
+        """Fold newly completed in-transit tasks into the result.
+
+        ``all_results()`` is sorted by finish time, which only grows
+        across drains, so the already-collected prefix is stable.
+        """
+        all_tasks = self.dataspaces.all_results()
+        fresh = all_tasks[len(result.task_results):]
+        for task in fresh:
+            result.task_results.append(task)
+            if task.analysis == "statistics":
+                result.statistics[task.timestep] = task.value
+            elif task.analysis == "topology":
+                result.merge_trees[task.timestep] = task.value
+            elif task.analysis == "visualization":
+                result.hybrid_images[task.timestep] = task.value
+            elif task.analysis == "autocorrelation":
+                result.autocorrelation = task.value
+            elif task.analysis == "correlation":
+                result.correlations[task.timestep] = task.value
+        return fresh
+
+    def _apply_steering(self, result: FrameworkResult,
+                        fresh: list[TaskResult]) -> None:
+        """Evaluate steering rules against results completed this step."""
+        if not fresh or not self.steering:
+            return
+        from repro.core.steering import SteeringEvent
+        for task in fresh:
+            for rule in self.steering:
+                if rule.consider(self, task):
+                    event = SteeringEvent(
+                        rule=rule.name, timestep=task.timestep,
+                        analysis=task.analysis,
+                        detail={"analysis_interval": self.analysis_interval})
+                    result.steering_events.append(event)
+                    self.dataspaces.put("steering", len(result.steering_events),
+                                        event)

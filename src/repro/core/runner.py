@@ -1,0 +1,288 @@
+"""Full-scale experiment replay (Tables I & II, Figs. 5 & 6).
+
+:class:`ExperimentConfig` captures the paper's two core allocations;
+:class:`ScaledExperiment` produces
+
+* :meth:`~ScaledExperiment.breakdown` — the per-timestep cost breakdown
+  from the calibrated cost model (Table I rows, Table II rows, Fig. 6
+  bars), and
+* :meth:`~ScaledExperiment.run_schedule` — a DES replay of the staging
+  workflow at full scale: per-timestep in-transit tasks with true wire
+  sizes flow through DataSpaces' queue into staging buckets, exposing
+  queue waits, bucket utilisation, and the temporal-multiplexing behaviour
+  that decouples analysis latency from simulation cadence (§V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.breakdown import AnalyticsTiming, TimingBreakdown
+from repro.core.workload import HYBRID_VARIANTS, AnalyticsVariant, ScaledWorkload
+from repro.costmodel.jaguar import jaguar_cost_model
+from repro.costmodel.models import CostModel
+from repro.des import Engine
+from repro.io.fpp import IOTimeModel
+from repro.machine.specs import MachineSpec, jaguar_xk6
+from repro.staging.dataspaces import DataSpaces
+from repro.staging.descriptors import TaskResult
+from repro.transport.dart import DartTransport
+
+PAPER_GLOBAL_SHAPE = (1600, 1372, 430)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One column of Table I."""
+
+    name: str
+    proc_grid: tuple[int, int, int]
+    n_service_cores: int
+    n_intransit_cores: int
+    global_shape: tuple[int, int, int] = PAPER_GLOBAL_SHAPE
+    n_vars: int = 14
+
+    @property
+    def n_sim_cores(self) -> int:
+        px, py, pz = self.proc_grid
+        return px * py * pz
+
+    @property
+    def n_cores(self) -> int:
+        return self.n_sim_cores + self.n_service_cores + self.n_intransit_cores
+
+    def workload(self) -> ScaledWorkload:
+        return ScaledWorkload(self.global_shape, self.proc_grid,
+                              n_vars=self.n_vars)
+
+    @classmethod
+    def paper_4896(cls) -> "ExperimentConfig":
+        """Table I, first column: 4480 sim + 160 DataSpaces + 256 in-transit."""
+        return cls(name="4896 cores", proc_grid=(16, 28, 10),
+                   n_service_cores=160, n_intransit_cores=256)
+
+    @classmethod
+    def paper_9440(cls) -> "ExperimentConfig":
+        """Table I, second column: 8960 sim + 256 DataSpaces + 224 in-transit."""
+        return cls(name="9440 cores", proc_grid=(32, 28, 10),
+                   n_service_cores=256, n_intransit_cores=224)
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of a DES replay of the staging workflow."""
+
+    results: list[TaskResult]
+    makespan: float
+    n_steps: int
+    sim_step_time: float
+    n_buckets: int
+
+    def by_analysis(self, name: str) -> list[TaskResult]:
+        return [r for r in self.results if r.analysis == name]
+
+    def max_queue_wait(self, name: str | None = None) -> float:
+        rs = self.results if name is None else self.by_analysis(name)
+        return max((r.queue_wait for r in rs), default=0.0)
+
+    def keeps_pace(self, slack: float = 1.0) -> bool:
+        """True if no task waited longer than ~one simulation step in the
+        queue — i.e. staging absorbs the arrival rate and analysis latency
+        stays decoupled from simulation cadence (the §V claim). With too
+        few buckets, queue waits grow with every analysed step instead."""
+        return self.max_queue_wait() <= slack * self.sim_step_time
+
+
+class ScaledExperiment:
+    """The paper's experiment at full scale on the modeled machine."""
+
+    def __init__(self, config: ExperimentConfig,
+                 machine: MachineSpec | None = None,
+                 cost_model: CostModel | None = None) -> None:
+        self.config = config
+        self.machine = machine or jaguar_xk6()
+        self.machine.validate_allocation(config.n_cores)
+        self.cost = cost_model or jaguar_cost_model()
+        self.workload = config.workload()
+
+    # -- closed-form per-timestep costs (Tables I & II, Fig. 6) -----------------
+
+    def simulation_step_time(self) -> float:
+        return self.cost.time("s3d.step", self.workload.block_cells)
+
+    def movement_time(self, variant: AnalyticsVariant) -> float:
+        """End-to-end intermediate-data drain time for one timestep.
+
+        All ranks' messages funnel into one serial staging consumer: per
+        message, the wire time plus DataSpaces task handling; plus any
+        serialization charge (topology's pointer-rich subtrees).
+        """
+        per_rank = self.workload.movement_bytes_per_rank(variant)
+        if per_rank == 0:
+            return 0.0
+        net = self.machine.network
+        per_msg = (net.transfer_time(per_rank)
+                   + self.cost.time("staging.task_overhead", 1))
+        total = self.workload.n_ranks * per_msg
+        pack = self.workload.movement_pack_op(variant)
+        if pack is not None:
+            total += self.cost.time(*pack)
+        return total
+
+    def analytics_timing(self, variant: AnalyticsVariant) -> AnalyticsTiming:
+        insitu_op, insitu_n = self.workload.insitu_op(variant)
+        insitu = self.cost.time(insitu_op, insitu_n)
+        if variant is AnalyticsVariant.STATS_HYBRID:
+            insitu += self.cost.time("stats.pack_partial", self.workload.n_vars)
+        intransit = 0.0
+        op = self.workload.intransit_op(variant)
+        if op is not None:
+            intransit = self.cost.time(*op)
+        return AnalyticsTiming(
+            name=variant.value,
+            insitu_time=insitu,
+            movement_time=self.movement_time(variant),
+            movement_bytes=self.workload.movement_bytes_total(variant),
+            intransit_time=intransit,
+        )
+
+    def breakdown(self) -> TimingBreakdown:
+        io = IOTimeModel(self.machine.filesystem)
+        cfg = self.config
+        return TimingBreakdown(
+            n_cores=cfg.n_cores,
+            n_sim_cores=cfg.n_sim_cores,
+            n_service_cores=cfg.n_service_cores,
+            n_intransit_cores=cfg.n_intransit_cores,
+            global_shape=cfg.global_shape,
+            n_vars=cfg.n_vars,
+            data_bytes=self.workload.checkpoint_bytes,
+            simulation_time=self.simulation_step_time(),
+            io_read_time=io.read_time(cfg.global_shape, cfg.n_vars,
+                                      cfg.n_sim_cores),
+            io_write_time=io.write_time(cfg.global_shape, cfg.n_vars,
+                                        cfg.n_sim_cores),
+            analytics={v.value: self.analytics_timing(v)
+                       for v in AnalyticsVariant},
+        )
+
+    def min_sustainable_interval(self, n_buckets: int,
+                                 variant: AnalyticsVariant =
+                                 AnalyticsVariant.TOPO_HYBRID) -> int:
+        """Smallest analysis interval the staging area absorbs (§III:
+        "the fastest sustainable analysis frequency is limited by memory
+        and processing constraints on the secondary system").
+
+        Steady state requires one task's service time to fit within
+        ``interval x sim_step x n_buckets``.
+        """
+        if n_buckets < 1:
+            raise ValueError("n_buckets must be >= 1")
+        row = self.analytics_timing(variant)
+        task = row.movement_time + row.intransit_time
+        import math
+        return max(1, math.ceil(task / (self.simulation_step_time()
+                                        * n_buckets)))
+
+    def staging_memory_needed(self, analysis_interval: int,
+                              n_buckets: int) -> int:
+        """Peak intermediate bytes resident in the staging area.
+
+        Each in-flight analysed step holds one copy of every hybrid
+        variant's intermediate data; the number in flight is bounded by
+        the slowest task's duration over the analysis cadence (and by the
+        bucket count).
+        """
+        if analysis_interval < 1 or n_buckets < 1:
+            raise ValueError("analysis_interval and n_buckets must be >= 1")
+        import math
+        per_step = sum(self.workload.movement_bytes_total(v)
+                       for v in HYBRID_VARIANTS)
+        slowest = max(self.analytics_timing(v).movement_time
+                      + self.analytics_timing(v).intransit_time
+                      for v in HYBRID_VARIANTS)
+        cadence = analysis_interval * self.simulation_step_time()
+        in_flight = min(math.ceil(slowest / cadence), n_buckets)
+        return per_step * max(1, in_flight)
+
+    # -- DES schedule replay (Fig. 5, temporal multiplexing) ---------------------
+
+    def _service_cost_model(self) -> CostModel:
+        """Base model + one 'service' op per hybrid variant: the time a
+        bucket holds the task beyond the bulk pull (per-message handling
+        overhead plus the in-transit computation)."""
+        model = self.cost
+        net = self.machine.network
+        for variant in HYBRID_VARIANTS:
+            per_rank = self.workload.movement_bytes_per_rank(variant)
+            total_bytes = self.workload.movement_bytes_total(variant)
+            overhead = (self.movement_time(variant)
+                        - net.transfer_time(total_bytes))
+            op = self.workload.intransit_op(variant)
+            intransit = self.cost.time(*op) if op else 0.0
+            model = model.with_rate(f"service.{variant.name}",
+                                    max(overhead, 0.0) + intransit)
+        return model
+
+    def run_schedule(self, n_steps: int = 10,
+                     analyses: tuple[AnalyticsVariant, ...] = HYBRID_VARIANTS,
+                     n_buckets: int | None = None,
+                     analysis_interval: int = 1) -> ScheduleResult:
+        """Replay ``n_steps`` of the hybrid workflow on the DES.
+
+        One grouped in-transit task per (hybrid analysis, analysed step)
+        arrives when the simulation finishes that step; staging buckets
+        pull the full-scale intermediate data and hold it for the modeled
+        service time. Distinct timesteps land on distinct buckets — the
+        paper's temporal multiplexing.
+        """
+        if n_steps < 1:
+            raise ValueError(f"n_steps must be >= 1, got {n_steps}")
+        if analysis_interval < 1:
+            raise ValueError("analysis_interval must be >= 1")
+        n_buckets = n_buckets if n_buckets is not None else self.config.n_intransit_cores
+        if n_buckets < 1:
+            raise ValueError("need at least one staging bucket")
+
+        engine = Engine()
+        transport = DartTransport(engine, self.machine.network)
+        ds = DataSpaces(engine, transport,
+                        n_servers=max(1, self.config.n_service_cores),
+                        cost_model=self._service_cost_model())
+        ds.spawn_buckets([f"staging-{i}" for i in range(n_buckets)])
+
+        sim_dt = self.simulation_step_time()
+        # Each analysed step charges the in-situ stages on the sim cores;
+        # submissions happen at the end of the stretched step.
+        insitu_total = sum(
+            self.cost.time(*self.workload.insitu_op(v)) for v in analyses)
+        t = 0.0
+        for step in range(n_steps):
+            t += sim_dt
+            if step % analysis_interval == 0:
+                t += insitu_total
+
+                def submit(when_step: int = step) -> None:
+                    for variant in analyses:
+                        ds.submit_insitu_result(
+                            analysis=variant.value,
+                            timestep=when_step,
+                            source_node=f"sim-agg-{when_step}",
+                            payload=None,
+                            nbytes=self.workload.movement_bytes_total(variant),
+                            cost_op=f"service.{variant.name}",
+                            cost_elements=1,
+                        )
+
+                engine.call_at(t, submit)
+        # Shutdown only after the last submission has been issued (the
+        # drain logic then waits for outstanding tasks to finish).
+        engine.call_at(t, ds.shutdown_buckets)
+        engine.run()
+        results = ds.all_results()
+        makespan = max((r.finish_time for r in results), default=0.0)
+        return ScheduleResult(results=results, makespan=makespan,
+                              n_steps=n_steps, sim_step_time=sim_dt,
+                              n_buckets=n_buckets)

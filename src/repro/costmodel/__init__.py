@@ -1,0 +1,21 @@
+"""Calibrated per-operation cost models.
+
+The functional layer executes real algorithms on laptop-scale data; this
+package converts *operation descriptors* (elements touched, bytes moved)
+into seconds on a named machine, so the DES can replay the paper's
+full-scale runs. See DESIGN.md §4 and :mod:`repro.costmodel.jaguar` for the
+calibration provenance.
+"""
+
+from repro.costmodel.models import CostModel, OpDescriptor
+from repro.costmodel.jaguar import jaguar_cost_model, JAGUAR_RATES
+from repro.costmodel.calibration import calibrate_rate, fit_linear_rate
+
+__all__ = [
+    "CostModel",
+    "OpDescriptor",
+    "jaguar_cost_model",
+    "JAGUAR_RATES",
+    "calibrate_rate",
+    "fit_linear_rate",
+]

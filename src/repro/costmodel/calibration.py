@@ -1,0 +1,48 @@
+"""Measure per-element rates of the real implementations.
+
+Users running on their own hardware can calibrate a
+:class:`~repro.costmodel.models.CostModel` from the actual Python kernels:
+time a kernel at several sizes and fit ``time = overhead + rate * n``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+
+def calibrate_rate(kernel: Callable[[int], None], n_elements: int,
+                   repeats: int = 3) -> float:
+    """Per-element seconds of ``kernel(n_elements)``, best of ``repeats``."""
+    if n_elements < 1:
+        raise ValueError(f"n_elements must be >= 1, got {n_elements}")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        kernel(n_elements)
+        best = min(best, time.perf_counter() - t0)
+    return best / n_elements
+
+
+def fit_linear_rate(sizes: Sequence[int], times: Sequence[float]) -> tuple[float, float]:
+    """Least-squares fit of ``time = overhead + rate * n``.
+
+    Returns ``(rate, overhead)``; overhead is clamped at zero (a negative
+    intercept is measurement noise, not a real credit).
+    """
+    if len(sizes) != len(times):
+        raise ValueError("sizes and times must have equal length")
+    if len(sizes) < 2:
+        raise ValueError("need at least two points to fit a line")
+    n = np.asarray(sizes, dtype=np.float64)
+    t = np.asarray(times, dtype=np.float64)
+    rate, overhead = np.polyfit(n, t, 1)
+    if rate < 0:
+        raise ValueError(
+            f"fitted negative rate {rate:.3g}; timings are not linear in size"
+        )
+    return float(rate), float(max(overhead, 0.0))

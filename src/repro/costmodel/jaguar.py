@@ -1,0 +1,82 @@
+"""Jaguar XK6 calibration, fitted once from Tables I and II of the paper.
+
+Each rate below is derived from a single published measurement; derivations
+are inline so every constant is auditable. The reproduction's *outputs* are
+then produced by replaying the full workflow through the DES — who waits on
+whom, what is asynchronous, how buckets multiplex — not by echoing the
+table.
+
+Per-rank workload at 4896 cores (4480 simulation ranks):
+  block = 100 x 49 x 43 = 210,700 cells;  14 variables (8-byte doubles).
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.models import CostModel
+
+#: Cells per simulation rank in the 4896-core configuration.
+_BLOCK_CELLS_4896 = 100 * 49 * 43  # 210,700
+
+JAGUAR_RATES: dict[str, float] = {
+    # S3D advances one time step in 16.85 s on 4480 ranks (Table I):
+    # 16.85 / 210700 cells  ->  8.00e-5 s per cell per step.
+    # Cross-check: at 9440 cores the block halves (50 x 49 x 43 = 105,350
+    # cells) giving 105350 * 8.0e-5 = 8.43 s vs 8.42 s reported.
+    "s3d.step": 16.85 / _BLOCK_CELLS_4896,
+
+    # In-situ full-resolution volume rendering: 0.73 s per step (Table II)
+    # over the local 210,700-cell block -> 3.46e-6 s/cell.
+    "vis.render_insitu": 0.73 / _BLOCK_CELLS_4896,
+
+    # In-situ descriptive statistics (learn+derive, all-to-all variant):
+    # 1.64 s over 14 variables x 210,700 cells = 2.9498e6 element-updates.
+    "stats.learn": 1.64 / (14 * _BLOCK_CELLS_4896),
+
+    # Hybrid stats learn-only is reported separately at 1.69 s; the extra
+    # 0.05 s is partial-model serialization, charged as a separate op over
+    # the 14 per-variable partials.
+    "stats.pack_partial": 0.05 / 14,
+
+    # In-transit derive on the aggregated global model: 0.01 s for 14
+    # variables (serial) -> 7.1e-4 s per variable model.
+    "stats.derive": 0.01 / 14,
+
+    # In-situ down-sampling for the hybrid renderer: 0.08 s per step.
+    # Strided reads touch every input cell of the rendered variables
+    # (2 x 210,700) -> 1.9e-7 s per input cell.
+    "vis.downsample": 0.08 / (2 * _BLOCK_CELLS_4896),
+
+    # In-transit serial ray cast of the down-sampled volume: 5.06 s for
+    # ~6.15e6 down-sampled cells (49.19 MB / 8 B) -> 8.2e-7 s per cell.
+    "vis.render_intransit": 5.06 / (49.19e6 / 8.0),
+
+    # In-situ merge-tree subtree construction (sort + union-find):
+    # 2.72 s per 210,700-cell block -> 1.29e-5 s per cell.
+    "topo.subtree": 2.72 / _BLOCK_CELLS_4896,
+
+    # In-transit streaming glue of all subtrees into the global tree:
+    # 119.81 s for 87.02 MB of subtree elements. At ~24 B per streamed
+    # vertex/edge record that is ~3.63e6 elements -> 3.3e-5 s per element.
+    "topo.stream_glue": 119.81 / (87.02e6 / 24.0),
+
+    # DataSpaces bookkeeping per scheduled task (descriptor insert, queue
+    # pop, bucket assignment) — SMSG-scale, dominated by RPC handling.
+    "staging.task_overhead": 2.0e-5,
+
+    # Subtree serialization/deserialization charged to data movement:
+    # topology's 87.02 MB moves in 2.06 s (Table II) — far below wire
+    # bandwidth — because packing pointer-rich tree structures dominates.
+    # 2.06 s minus per-task RPC overhead (4480 x ~30 us) and wire time
+    # (~15 ms) leaves ~1.91 s over ~3.63e6 elements.
+    "topo.pack_stream": 5.27e-7,
+}
+
+JAGUAR_OVERHEADS: dict[str, float] = {
+    # Fixed per-image setup for the serial in-transit renderer (LUT build).
+    "vis.render_intransit": 0.05,
+}
+
+
+def jaguar_cost_model() -> CostModel:
+    """Cost model calibrated to the paper's Jaguar XK6 measurements."""
+    return CostModel("Jaguar-XK6", dict(JAGUAR_RATES), dict(JAGUAR_OVERHEADS))

@@ -1,0 +1,205 @@
+"""Event heap, simulated clock, and generator-driven processes.
+
+The engine is deliberately tiny but complete enough to express the paper's
+asynchronous machinery: timeouts, one-shot events (RDMA completion
+notifications, data-ready/bucket-ready messages), and process join.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Generator
+from typing import Any
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class EventHandle:
+    """A one-shot event that processes can wait on and code can trigger.
+
+    An event is *triggered* at most once with an optional value; every
+    process waiting on it is resumed at the engine's current time (or at the
+    trigger time if scheduled via :meth:`Engine.schedule_event`).
+    """
+
+    __slots__ = ("engine", "triggered", "value", "_waiters", "callbacks")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: list[ProcessHandle] = []
+        self.callbacks: list[Callable[[Any], None]] = []
+
+    def succeed(self, value: Any = None) -> "EventHandle":
+        """Trigger the event now, resuming all waiters."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for cb in self.callbacks:
+            cb(value)
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.engine._schedule(0.0, proc._resume, value)
+        return self
+
+    def _add_waiter(self, proc: "ProcessHandle") -> None:
+        if self.triggered:
+            self.engine._schedule(0.0, proc._resume, self.value)
+        else:
+            self._waiters.append(proc)
+
+
+class ProcessHandle:
+    """A running generator process.
+
+    Processes yield:
+      * ``EventHandle`` — suspend until the event triggers;
+      * ``ProcessHandle`` — suspend until that process finishes (join);
+      * ``None`` — yield the engine loop without advancing time.
+    """
+
+    __slots__ = ("engine", "generator", "name", "finished", "result", "_done_event")
+
+    def __init__(self, engine: "Engine", generator: Generator, name: str = "") -> None:
+        self.engine = engine
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.finished = False
+        self.result: Any = None
+        self._done_event = EventHandle(engine)
+
+    # -- process protocol --------------------------------------------------
+
+    def _resume(self, value: Any = None) -> None:
+        if self.finished:
+            return
+        try:
+            target = self.generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._wait_on(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.finished:
+            return
+        try:
+            target = self.generator.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if target is None:
+            self.engine._schedule(0.0, self._resume, None)
+        elif isinstance(target, EventHandle):
+            target._add_waiter(self)
+        elif isinstance(target, ProcessHandle):
+            target._done_event._add_waiter(self)
+        else:
+            self._throw(TypeError(f"process yielded unsupported object {target!r}"))
+
+    def _finish(self, result: Any) -> None:
+        self.finished = True
+        self.result = result
+        self._done_event.succeed(result)
+
+    # -- public API --------------------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Interrupt the process: it sees :class:`Interrupt` at its yield."""
+        self.engine._schedule(0.0, self._throw, Interrupt(cause))
+
+    @property
+    def done(self) -> EventHandle:
+        """Event triggered when the process returns."""
+        return self._done_event
+
+
+class Engine:
+    """Deterministic discrete-event engine with a float-seconds clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[Any], None], Any]] = []
+        self._seq = 0
+        self.now: float = 0.0
+        self._processes: list[ProcessHandle] = []
+
+    # -- scheduling primitives ----------------------------------------------
+
+    def _schedule(self, delay: float, fn: Callable[[Any], None], arg: Any) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, arg))
+
+    def event(self) -> EventHandle:
+        """Create an untriggered one-shot event."""
+        return EventHandle(self)
+
+    def timeout(self, delay: float, value: Any = None) -> EventHandle:
+        """Event that triggers ``delay`` simulated seconds from now."""
+        ev = EventHandle(self)
+        self._schedule(delay, ev.succeed, value)
+        return ev
+
+    def schedule_event(self, ev: EventHandle, delay: float, value: Any = None) -> None:
+        """Trigger an existing event ``delay`` seconds from now."""
+        self._schedule(delay, ev.succeed, value)
+
+    def process(self, generator: Generator, name: str = "") -> ProcessHandle:
+        """Register and start a generator process at the current time."""
+        proc = ProcessHandle(self, generator, name)
+        self._processes.append(proc)
+        self._schedule(0.0, proc._resume, None)
+        return proc
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Run a plain callback at absolute simulated time ``when``."""
+        if when < self.now:
+            raise ValueError(f"call_at({when}) is before now ({self.now})")
+        self._schedule(when - self.now, lambda _: fn(), None)
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, until: float | None = None) -> float:
+        """Run until the heap drains or the clock reaches ``until``.
+
+        Returns the final simulated time.
+        """
+        while self._heap:
+            when, _seq, fn, arg = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = when
+            fn(arg)
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    def run_until_done(self, proc: ProcessHandle, limit: float = 1e12) -> Any:
+        """Run until ``proc`` completes; returns its result.
+
+        Raises ``RuntimeError`` if the event heap drains first (deadlock) or
+        the clock passes ``limit``.
+        """
+        while not proc.finished:
+            if not self._heap:
+                raise RuntimeError(f"deadlock: process {proc.name!r} never finished")
+            if self.now > limit:
+                raise RuntimeError(f"time limit {limit} exceeded waiting for {proc.name!r}")
+            when, _seq, fn, arg = heapq.heappop(self._heap)
+            self.now = when
+            fn(arg)
+        return proc.result

@@ -1,0 +1,151 @@
+"""A minimal self-describing binary container (BP-format stand-in).
+
+Layout::
+
+    magic  b"RBP1"
+    uint64 header_length
+    header JSON (utf-8): {"vars": {name: {"dtype", "shape", "offset", "nbytes"},
+                          "attrs": {...}}}
+    raw variable payloads, 8-byte aligned, in header order
+
+Variables are written/read as C-contiguous arrays. The format supports
+attributes (small JSON-serialisable metadata), mirroring ADIOS's
+variable/attribute split.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+import numpy as np
+
+_MAGIC = b"RBP1"
+_ALIGN = 8
+
+
+class BPFile:
+    """Writer/reader for the container format.
+
+    Writing::
+
+        with BPFile.create(path, attrs={"step": 3}) as bp:
+            bp.write("T", temperature_array)
+
+    Reading::
+
+        bp = BPFile.open(path)
+        T = bp.read("T")
+    """
+
+    def __init__(self) -> None:
+        self._path: str | os.PathLike | None = None
+        self._vars: dict[str, dict[str, Any]] = {}
+        self._attrs: dict[str, Any] = {}
+        self._pending: list[tuple[str, np.ndarray]] = []
+        self._mode: str | None = None
+
+    # -- writing --------------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str | os.PathLike, attrs: dict[str, Any] | None = None
+               ) -> "BPFile":
+        bp = cls()
+        bp._path = path
+        bp._attrs = dict(attrs or {})
+        bp._mode = "w"
+        return bp
+
+    def write(self, name: str, data: np.ndarray) -> None:
+        if self._mode != "w":
+            raise RuntimeError("BPFile not opened for writing")
+        if name in {n for n, _ in self._pending}:
+            raise ValueError(f"variable {name!r} already written")
+        self._pending.append((name, np.ascontiguousarray(data)))
+
+    def __enter__(self) -> "BPFile":
+        return self
+
+    def __exit__(self, exc_type: object, *exc: object) -> None:
+        if self._mode == "w" and exc_type is None:
+            self.flush()
+
+    def flush(self) -> None:
+        """Serialise header + payloads to disk."""
+        if self._mode != "w":
+            raise RuntimeError("BPFile not opened for writing")
+        offset = 0
+        header_vars: dict[str, Any] = {}
+        blobs: list[bytes] = []
+        for name, arr in self._pending:
+            pad = (-offset) % _ALIGN
+            offset += pad
+            blobs.append(b"\0" * pad)
+            raw = arr.tobytes()
+            header_vars[name] = {
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+                "offset": offset,
+                "nbytes": len(raw),
+            }
+            blobs.append(raw)
+            offset += len(raw)
+        header = json.dumps({"vars": header_vars, "attrs": self._attrs}).encode()
+        assert self._path is not None
+        with open(self._path, "wb") as f:
+            f.write(_MAGIC)
+            f.write(len(header).to_bytes(8, "little"))
+            f.write(header)
+            for blob in blobs:
+                f.write(blob)
+        self._mode = None
+
+    # -- reading ----------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: str | os.PathLike) -> "BPFile":
+        bp = cls()
+        bp._path = path
+        with open(path, "rb") as f:
+            magic = f.read(4)
+            if magic != _MAGIC:
+                raise ValueError(f"{path}: not a BP file (magic {magic!r})")
+            hlen = int.from_bytes(f.read(8), "little")
+            header = json.loads(f.read(hlen).decode())
+        bp._vars = header["vars"]
+        bp._attrs = header["attrs"]
+        bp._mode = "r"
+        bp._payload_start = 4 + 8 + hlen  # type: ignore[attr-defined]
+        return bp
+
+    @property
+    def attrs(self) -> dict[str, Any]:
+        return self._attrs
+
+    @property
+    def variables(self) -> list[str]:
+        return list(self._vars)
+
+    def shape(self, name: str) -> tuple[int, ...]:
+        return tuple(self._var_meta(name)["shape"])
+
+    def _var_meta(self, name: str) -> dict[str, Any]:
+        if self._mode != "r":
+            raise RuntimeError("BPFile not opened for reading")
+        try:
+            return self._vars[name]
+        except KeyError:
+            raise KeyError(
+                f"no variable {name!r} in {self._path}; has {self.variables}"
+            ) from None
+
+    def read(self, name: str) -> np.ndarray:
+        meta = self._var_meta(name)
+        assert self._path is not None
+        with open(self._path, "rb") as f:
+            f.seek(self._payload_start + meta["offset"])  # type: ignore[attr-defined]
+            raw = f.read(meta["nbytes"])
+        if len(raw) != meta["nbytes"]:
+            raise IOError(f"{self._path}: truncated variable {name!r}")
+        return np.frombuffer(raw, dtype=np.dtype(meta["dtype"])).reshape(meta["shape"]).copy()

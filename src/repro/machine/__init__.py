@@ -1,0 +1,23 @@
+"""Machine models: node/system specs, Gemini-like network, Lustre-like storage.
+
+This package replaces the paper's physical testbed (Jaguar, the Cray XK6 at
+ORNL) with parameterised analytic models. Calibration constants for Jaguar
+live in :mod:`repro.costmodel.jaguar`; this package defines the *structure*
+(what a node, network, and parallel filesystem are) independent of any one
+machine.
+"""
+
+from repro.machine.specs import MachineSpec, NodeSpec, jaguar_xk6
+from repro.machine.gemini import GeminiNetwork, Protocol
+from repro.machine.lustre import LustreModel
+from repro.machine.torus import TorusTopology
+
+__all__ = [
+    "MachineSpec",
+    "NodeSpec",
+    "jaguar_xk6",
+    "GeminiNetwork",
+    "Protocol",
+    "LustreModel",
+    "TorusTopology",
+]

@@ -1,0 +1,64 @@
+"""Lustre-like parallel filesystem model.
+
+Table I of the paper notes that (a) file-per-process I/O achieves near-peak
+bandwidth over a wide range of core counts, and (b) aggregate bandwidth is
+limited by the number of Object Storage Targets (OSTs), so with constant
+total data size the read/write times do not depend on core count. This
+model captures exactly that: aggregate bandwidth saturates at
+``n_osts * per-OST bandwidth`` regardless of how many clients write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import GB
+
+
+@dataclass(frozen=True)
+class LustreModel:
+    """OST-limited aggregate-bandwidth storage model.
+
+    Defaults are calibrated so that 98.5 GB reads in ~6.56 s and writes in
+    ~3.28 s (Table I): aggregate read ≈ 15 GB/s, write ≈ 30 GB/s.
+    """
+
+    n_osts: int = 672
+    ost_read_bw: float = 15.0 * GB / 672   # bytes/s per OST
+    ost_write_bw: float = 30.0 * GB / 672
+    #: Per-client open/close + metadata overhead for file-per-process I/O.
+    metadata_latency: float = 1.0e-3
+    #: Per-client bandwidth ceiling (a single client cannot saturate the FS).
+    client_bw: float = 2.0 * GB
+
+    def __post_init__(self) -> None:
+        if self.n_osts < 1:
+            raise ValueError(f"n_osts must be >= 1, got {self.n_osts}")
+        if min(self.ost_read_bw, self.ost_write_bw, self.client_bw) <= 0:
+            raise ValueError("bandwidths must be positive")
+
+    @property
+    def aggregate_read_bw(self) -> float:
+        return self.n_osts * self.ost_read_bw
+
+    @property
+    def aggregate_write_bw(self) -> float:
+        return self.n_osts * self.ost_write_bw
+
+    def _time(self, total_bytes: int, n_clients: int, agg_bw: float) -> float:
+        if total_bytes < 0:
+            raise ValueError(f"total_bytes must be non-negative, got {total_bytes}")
+        if n_clients < 1:
+            raise ValueError(f"n_clients must be >= 1, got {n_clients}")
+        # Effective bandwidth: client-side ceiling until enough clients
+        # participate to saturate the OSTs, then flat (core-count independent).
+        bw = min(agg_bw, n_clients * self.client_bw)
+        return self.metadata_latency + total_bytes / bw
+
+    def read_time(self, total_bytes: int, n_clients: int) -> float:
+        """Seconds for ``n_clients`` to collectively read ``total_bytes``."""
+        return self._time(total_bytes, n_clients, self.aggregate_read_bw)
+
+    def write_time(self, total_bytes: int, n_clients: int) -> float:
+        """Seconds for ``n_clients`` to collectively write ``total_bytes``."""
+        return self._time(total_bytes, n_clients, self.aggregate_write_bw)

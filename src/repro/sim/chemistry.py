@@ -1,0 +1,67 @@
+"""Single-step Arrhenius H2/O2 chemistry with heat release.
+
+A reduced stand-in for S3D's detailed hydrogen mechanism: one global
+reaction ``2 H2 + O2 -> 2 H2O`` with Arrhenius rate
+``w = A * Y_H2 * Y_O2 * exp(-Ta / T)``. Radical species (H, O, OH, HO2,
+H2O2) are carried as trace fields proportional to the reaction rate so all
+14 variables contain meaningful, analysis-relevant structure.
+
+Units are nondimensional (temperature normalised by the coflow
+temperature); what matters for the analyses is the *shape*: an ignition
+kernel is a localised region where T rises rapidly once the mixture is
+within flammability limits, exactly the intermittent feature §V's
+lifted-flame study tracks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ArrheniusChemistry:
+    """One-step global H2 oxidation."""
+
+    pre_exponential: float = 80.0     # A
+    activation_temperature: float = 8.0  # Ta (nondimensional)
+    heat_release: float = 6.0         # temperature rise per unit reaction
+    #: Trace-radical yield coefficients (fraction of reaction rate).
+    radical_yield: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.pre_exponential < 0 or self.activation_temperature < 0:
+            raise ValueError("Arrhenius parameters must be non-negative")
+
+    def reaction_rate(self, T: np.ndarray, Y_H2: np.ndarray,
+                      Y_O2: np.ndarray) -> np.ndarray:
+        """``w = A Y_H2 Y_O2 exp(-Ta/T)`` (clipped to physical Y)."""
+        yh2 = np.clip(Y_H2, 0.0, 1.0)
+        yo2 = np.clip(Y_O2, 0.0, 1.0)
+        Tsafe = np.maximum(T, 1e-3)
+        return self.pre_exponential * yh2 * yo2 * np.exp(
+            -self.activation_temperature / Tsafe)
+
+    def source_terms(self, T: np.ndarray, Y: dict[str, np.ndarray]
+                     ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Temperature and species sources for one evaluation.
+
+        Mass stoichiometry of ``2 H2 + O2 -> 2 H2O`` (by mass: 4 g H2 +
+        32 g O2 -> 36 g H2O, i.e. fractions 1/9 and 8/9 of the consumed
+        mass): per unit reaction rate, dY_H2 = -1/9, dY_O2 = -8/9,
+        dY_H2O = +1.
+        """
+        w = self.reaction_rate(T, Y["H2"], Y["O2"])
+        dT = self.heat_release * w
+        r = self.radical_yield * w
+        dY = {
+            "H2": -w / 9.0,
+            "O2": -8.0 * w / 9.0,
+            "H2O": w * (1.0 - 5.0 * self.radical_yield),
+            # Radicals appear where the reaction is active and recombine
+            # (first-order decay handled by the solver's relaxation).
+            "H": r, "O": r, "OH": r, "HO2": r, "H2O2": r,
+            "N2": np.zeros_like(w),
+        }
+        return dT, dY

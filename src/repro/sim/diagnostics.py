@@ -1,0 +1,104 @@
+"""Combustion diagnostics derived from the solution state.
+
+The analyses in the paper's motivating studies (lifted-flame
+stabilisation [52], extinction/reignition [30]) operate on *derived*
+fields as much as on primitives: mixture fraction, scalar dissipation
+rate, and heat-release rate. These are standard data-parallel point/stencil
+operations — ideal in-situ stages — implemented here against the
+:class:`~repro.sim.fields.FieldSet`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.chemistry import ArrheniusChemistry
+from repro.sim.fields import FieldSet
+from repro.sim.stencil import gradient
+
+
+def mixture_fraction(fields: FieldSet, fuel_h2: float = 0.3,
+                     oxidizer_o2: float = 0.233) -> np.ndarray:
+    """Bilger-style mixture fraction from the element mass balance.
+
+    The element coupling function is ``beta = Z_H - Z_O / s`` with
+    ``Z_H = Y_H2 + Y_H2O/9``, ``Z_O = Y_O2 + 8 Y_H2O/9`` and the
+    stoichiometric mass ratio ``s = 8``; the H2O contributions cancel,
+    leaving ``beta = Y_H2 - Y_O2 / 8`` — exactly conserved under the
+    one-step reaction (``dH2 = -w/9`` cancels ``dO2 = -8w/9`` over 8).
+    Normalising between the oxidizer (``beta_ox``) and fuel (``beta_fu``)
+    stream values yields Z in [0, 1]: 0 in pure oxidizer, 1 in pure fuel.
+    """
+    if fuel_h2 <= 0:
+        raise ValueError(f"fuel_h2 must be positive, got {fuel_h2}")
+    if oxidizer_o2 <= 0:
+        raise ValueError(f"oxidizer_o2 must be positive, got {oxidizer_o2}")
+    beta = fields["H2"] - fields["O2"] / 8.0
+    beta_ox = -oxidizer_o2 / 8.0
+    beta_fu = fuel_h2
+    z = (beta - beta_ox) / (beta_fu - beta_ox)
+    return np.clip(z, 0.0, 1.0)
+
+
+def stoichiometric_mixture_fraction(fuel_h2: float = 0.3,
+                                    oxidizer_o2: float = 0.233) -> float:
+    """Z_st: where fuel and oxidizer are in stoichiometric proportion.
+
+    beta = 0 at stoichiometry for the hydrogen-based coupling function.
+    """
+    beta_ox = -oxidizer_o2 / 8.0
+    beta_fu = fuel_h2
+    return (0.0 - beta_ox) / (beta_fu - beta_ox)
+
+
+def scalar_dissipation(fields: FieldSet, diffusivity: float,
+                       fuel_h2: float = 0.3, oxidizer_o2: float = 0.233
+                       ) -> np.ndarray:
+    """``chi = 2 D |grad Z|^2`` — the mixing-rate field whose balance
+    against kinetics controls ignition-kernel survival (§V's case study)."""
+    if diffusivity <= 0:
+        raise ValueError(f"diffusivity must be positive, got {diffusivity}")
+    z = mixture_fraction(fields, fuel_h2, oxidizer_o2)
+    gx, gy, gz = gradient(z, fields.grid.spacing)
+    return 2.0 * diffusivity * (gx * gx + gy * gy + gz * gz)
+
+
+def heat_release_rate(fields: FieldSet,
+                      chemistry: ArrheniusChemistry | None = None
+                      ) -> np.ndarray:
+    """``q * w``: the instantaneous volumetric heat release — the standard
+    flame marker (burning regions of [43] are its superlevel sets)."""
+    chem = chemistry or ArrheniusChemistry()
+    rate = chem.reaction_rate(fields["T"], fields["H2"], fields["O2"])
+    return chem.heat_release * rate
+
+
+def takeno_flame_index(fields: FieldSet) -> np.ndarray:
+    """Takeno index ``grad Y_H2 . grad Y_O2`` (normalised to [-1, 1]).
+
+    Positive: premixed burning (fuel and oxidizer gradients aligned);
+    negative: non-premixed (opposed) — the regime classifier lifted-flame
+    studies use at the flame base.
+    """
+    spacing = fields.grid.spacing
+    gf = gradient(fields["H2"], spacing)
+    go = gradient(fields["O2"], spacing)
+    dot = sum(a * b for a, b in zip(gf, go))
+    norm = (np.sqrt(sum(a * a for a in gf)) * np.sqrt(sum(b * b for b in go)))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        index = np.where(norm > 1e-12, dot / np.maximum(norm, 1e-300), 0.0)
+    return np.clip(index, -1.0, 1.0)
+
+
+def add_diagnostics(fields: FieldSet, diffusivity: float = 1.5e-3,
+                    chemistry: ArrheniusChemistry | None = None) -> FieldSet:
+    """Attach Z, chi, HRR and the flame index as extra fields (in place).
+
+    The in-situ stage computing these costs one gradient sweep per
+    derived field — the kind of cheap filtering §III's guidelines target.
+    """
+    fields["Z"] = mixture_fraction(fields)
+    fields["chi"] = scalar_dissipation(fields, diffusivity)
+    fields["HRR"] = heat_release_rate(fields, chemistry)
+    fields["FI"] = takeno_flame_index(fields)
+    return fields

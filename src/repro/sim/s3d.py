@@ -1,0 +1,262 @@
+"""The S3D proxy solver: explicit advection–diffusion–reaction.
+
+:class:`S3DProxy` advances the 14-variable state on the global grid;
+:class:`DecomposedS3D` advances the identical equations block-parallel over
+a :class:`~repro.vmpi.decomp.BlockDecomposition3D` with one-layer ghost
+exchange — tests assert the two produce bitwise-identical states, the
+reproduction's stand-in for S3D's MPI-correctness.
+
+Physics per step (explicit Euler, frozen velocity):
+
+* ``dT/dt   = -(u.grad)T + alpha lap T + q w``
+* ``dYk/dt  = -(u.grad)Yk + D lap Yk + nu_k w  (- lambda Yk for radicals)``
+
+with ``w`` the one-step Arrhenius rate. Species are clipped to [0, 1]
+after each update (the first-order upwind scheme is monotone, clipping
+only guards chemistry round-off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.costmodel.models import OpDescriptor
+from repro.sim.chemistry import ArrheniusChemistry
+from repro.sim.fields import SPECIES_NAMES, FieldSet
+from repro.sim.grid import StructuredGrid3D
+from repro.sim.lifted_flame import LiftedFlameCase
+from repro.sim.stencil import (
+    crop_ghosts,
+    laplacian,
+    pad_with_ghosts,
+    upwind_advection,
+)
+from repro.vmpi.decomp import BlockDecomposition3D
+
+_RADICALS = ("H", "O", "OH", "HO2", "H2O2")
+_TRANSPORTED = ("T",) + SPECIES_NAMES  # velocity is frozen; P is held fixed
+
+
+@dataclass
+class SolverParams:
+    """Transport and numerics parameters shared by both solver variants."""
+
+    thermal_diffusivity: float = 2.0e-3
+    species_diffusivity: float = 1.5e-3
+    radical_decay: float = 5.0
+    dt: float | None = None  # None -> CFL-derived at construction
+    cfl_safety: float = 0.4
+    #: "euler" (default) or "rk2" (Heun's method — S3D itself uses a
+    #: multi-stage explicit RK; rk2 exercises the same multi-exchange
+    #: structure at laptop scale).
+    integrator: str = "euler"
+
+    def __post_init__(self) -> None:
+        if self.integrator not in ("euler", "rk2"):
+            raise ValueError(
+                f"integrator must be 'euler' or 'rk2', got {self.integrator!r}")
+
+    def resolve_dt(self, grid: StructuredGrid3D, max_speed: float) -> float:
+        if self.dt is not None:
+            if self.dt <= 0:
+                raise ValueError(f"dt must be positive, got {self.dt}")
+            return self.dt
+        diff = max(self.thermal_diffusivity, self.species_diffusivity)
+        return grid.cfl_dt(max_speed, diff, self.cfl_safety)
+
+
+def _rhs(state: dict[str, np.ndarray], spacing: tuple[float, float, float],
+         chemistry: ArrheniusChemistry, params: SolverParams
+         ) -> dict[str, np.ndarray]:
+    """Right-hand sides for all transported variables (pointwise + stencil)."""
+    velocity = (state["u"], state["v"], state["w"])
+    dT_chem, dY_chem = chemistry.source_terms(
+        state["T"], {s: state[s] for s in SPECIES_NAMES})
+
+    rhs: dict[str, np.ndarray] = {}
+    rhs["T"] = (upwind_advection(state["T"], velocity, spacing)
+                + params.thermal_diffusivity * laplacian(state["T"], spacing)
+                + dT_chem)
+    for s in SPECIES_NAMES:
+        r = (upwind_advection(state[s], velocity, spacing)
+             + params.species_diffusivity * laplacian(state[s], spacing)
+             + dY_chem[s])
+        if s in _RADICALS:
+            r = r - params.radical_decay * state[s]
+        rhs[s] = r
+    return rhs
+
+
+def _apply_update(state: dict[str, np.ndarray], rhs: dict[str, np.ndarray],
+                  dt: float) -> None:
+    state["T"] += dt * rhs["T"]
+    np.maximum(state["T"], 1e-3, out=state["T"])
+    for s in SPECIES_NAMES:
+        state[s] += dt * rhs[s]
+        np.clip(state[s], 0.0, 1.0, out=state[s])
+
+
+def _midpoint_state(state: dict[str, np.ndarray], rhs: dict[str, np.ndarray],
+                    dt: float) -> dict[str, np.ndarray]:
+    """Heun predictor: transported variables advanced by a full Euler step,
+    velocity carried frozen."""
+    mid = {c: state[c] for c in ("u", "v", "w")}
+    for name in _TRANSPORTED:
+        mid[name] = state[name] + dt * rhs[name]
+    return mid
+
+
+def _combine_heun(rhs1: dict[str, np.ndarray], rhs2: dict[str, np.ndarray]
+                  ) -> dict[str, np.ndarray]:
+    return {name: 0.5 * (rhs1[name] + rhs2[name]) for name in rhs1}
+
+
+class S3DProxy:
+    """Global-grid solver. ``fields`` is advanced in place by :meth:`step`."""
+
+    def __init__(self, case: LiftedFlameCase,
+                 chemistry: ArrheniusChemistry | None = None,
+                 params: SolverParams | None = None,
+                 seed_kernels: bool = True) -> None:
+        self.case = case
+        self.grid = case.grid
+        self.chemistry = chemistry or ArrheniusChemistry()
+        self.params = params or SolverParams()
+        self.seed_kernels = seed_kernels
+        self.fields = case.initial_fields()
+        max_speed = max(float(np.max(np.abs(self.fields[c])))
+                        for c in ("u", "v", "w"))
+        self.dt = self.params.resolve_dt(self.grid, max_speed)
+        self.step_count = 0
+        self.kernel_history: list[tuple[int, tuple[int, int, int]]] = []
+
+    def step(self, n: int = 1) -> FieldSet:
+        """Advance ``n`` steps; returns the (live) field set."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        spacing = self.grid.spacing
+        for _ in range(n):
+            if self.seed_kernels:
+                for center in self.case.seed_kernels(self.fields, self.step_count):
+                    self.kernel_history.append((self.step_count, center))
+            state = {name: self.fields[name] for name in self.fields.names}
+            rhs = _rhs(state, spacing, self.chemistry, self.params)
+            if self.params.integrator == "rk2":
+                mid = _midpoint_state(state, rhs, self.dt)
+                rhs2 = _rhs(mid, spacing, self.chemistry, self.params)
+                rhs = _combine_heun(rhs, rhs2)
+            _apply_update(state, rhs, self.dt)
+            self.step_count += 1
+        return self.fields
+
+    def op_descriptor(self) -> OpDescriptor:
+        """Per-step, per-rank cost descriptor (full grid = 1 rank here)."""
+        return OpDescriptor("s3d.step", self.grid.n_cells)
+
+
+class DecomposedS3D:
+    """Block-parallel solver over a 3-D decomposition with ghost exchange.
+
+    Each rank holds only its block of every variable; one ghost layer is
+    exchanged per step (the stencils are radius-1). Kernel seeding — a
+    global stochastic event — is applied on the assembled temperature
+    field and re-scattered, mirroring how S3D applies global forcing.
+    """
+
+    def __init__(self, case: LiftedFlameCase, decomp: BlockDecomposition3D,
+                 chemistry: ArrheniusChemistry | None = None,
+                 params: SolverParams | None = None,
+                 seed_kernels: bool = True) -> None:
+        if decomp.global_shape != case.grid.shape:
+            raise ValueError(
+                f"decomposition {decomp.global_shape} != grid {case.grid.shape}")
+        self.case = case
+        self.grid = case.grid
+        self.decomp = decomp
+        self.chemistry = chemistry or ArrheniusChemistry()
+        self.params = params or SolverParams()
+        self.seed_kernels = seed_kernels
+
+        initial = case.initial_fields()
+        self.names = initial.names
+        #: parts[rank][var] -> block array
+        self.parts: list[dict[str, np.ndarray]] = [
+            {name: np.ascontiguousarray(initial[name][b.slices])
+             for name in self.names}
+            for b in decomp.blocks()
+        ]
+        max_speed = max(float(np.max(np.abs(initial[c]))) for c in ("u", "v", "w"))
+        self.dt = self.params.resolve_dt(self.grid, max_speed)
+        self.step_count = 0
+
+    def _gather_var(self, name: str) -> np.ndarray:
+        return self.decomp.gather([p[name] for p in self.parts])
+
+    def _scatter_var(self, name: str, global_field: np.ndarray) -> None:
+        for part, piece in zip(self.parts, self.decomp.scatter(global_field)):
+            part[name] = piece
+
+    def step(self, n: int = 1) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        spacing = self.grid.spacing
+        ghosted_names = ("u", "v", "w") + _TRANSPORTED
+        for _ in range(n):
+            if self.seed_kernels:
+                # Global forcing: assemble T, seed, scatter back.
+                fs = FieldSet(self.grid, ("T", "H2", "O2"))
+                fs["T"] = self._gather_var("T")
+                fs["H2"] = self._gather_var("H2")
+                fs["O2"] = self._gather_var("O2")
+                self.case.seed_kernels(fs, self.step_count)
+                self._scatter_var("T", fs["T"])
+
+            # Halo exchange: one ghost layer for every stencil operand.
+            ghosted: dict[str, list[np.ndarray]] = {
+                name: pad_with_ghosts([p[name] for p in self.parts], self.decomp)
+                for name in dict.fromkeys(ghosted_names)
+            }
+            rhs_per_rank: list[dict[str, np.ndarray]] = []
+            for rank in range(self.decomp.n_ranks):
+                state_g = {name: ghosted[name][rank] for name in ghosted}
+                rhs_g = _rhs(state_g, spacing, self.chemistry, self.params)
+                rhs_per_rank.append(
+                    {name: crop_ghosts(r) for name, r in rhs_g.items()})
+
+            if self.params.integrator == "rk2":
+                # Predictor blocks, then a SECOND halo exchange before the
+                # corrector RHS — the multi-exchange structure of S3D's
+                # multi-stage RK.
+                mid_parts = [
+                    {**{c: part[c] for c in ("u", "v", "w")},
+                     **{name: part[name] + self.dt * rhs[name]
+                        for name in _TRANSPORTED}}
+                    for part, rhs in zip(self.parts, rhs_per_rank)
+                ]
+                ghosted_mid = {
+                    name: pad_with_ghosts([m[name] for m in mid_parts],
+                                          self.decomp)
+                    for name in dict.fromkeys(ghosted_names)
+                }
+                for rank in range(self.decomp.n_ranks):
+                    mid_g = {name: ghosted_mid[name][rank]
+                             for name in ghosted_mid}
+                    rhs2_g = _rhs(mid_g, spacing, self.chemistry, self.params)
+                    rhs2 = {name: crop_ghosts(r) for name, r in rhs2_g.items()}
+                    rhs_per_rank[rank] = _combine_heun(rhs_per_rank[rank], rhs2)
+
+            for part, rhs in zip(self.parts, rhs_per_rank):
+                _apply_update(part, rhs, self.dt)
+            self.step_count += 1
+
+    def assemble(self) -> FieldSet:
+        """Gather all blocks into a global :class:`FieldSet`."""
+        fs = FieldSet(self.grid, self.names)
+        for name in self.names:
+            fs[name] = self._gather_var(name)
+        return fs
+
+    def rank_op_descriptor(self, rank: int) -> OpDescriptor:
+        return OpDescriptor("s3d.step", self.decomp.block(rank).n_cells)

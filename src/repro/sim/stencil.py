@@ -1,0 +1,104 @@
+"""Finite-difference stencils (periodic) and block ghost exchange.
+
+All operators are vectorised NumPy with periodic wrap via ``np.roll``.
+The decomposed solver pads each block with ghost layers copied from
+neighbouring blocks (:func:`pad_with_ghosts`), applies the same stencils,
+then crops — tests assert bitwise agreement with the global operators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vmpi.decomp import BlockDecomposition3D
+
+
+def gradient(f: np.ndarray, spacing: tuple[float, float, float]
+             ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Second-order central gradient with periodic wrap."""
+    out = []
+    for axis in range(3):
+        h = spacing[axis]
+        out.append((np.roll(f, -1, axis) - np.roll(f, 1, axis)) / (2.0 * h))
+    return tuple(out)  # type: ignore[return-value]
+
+
+def laplacian(f: np.ndarray, spacing: tuple[float, float, float]) -> np.ndarray:
+    """Second-order 7-point Laplacian with periodic wrap."""
+    out = np.zeros_like(f)
+    for axis in range(3):
+        h2 = spacing[axis] ** 2
+        out += (np.roll(f, -1, axis) - 2.0 * f + np.roll(f, 1, axis)) / h2
+    return out
+
+
+def upwind_advection(f: np.ndarray, velocity: tuple[np.ndarray, np.ndarray, np.ndarray],
+                     spacing: tuple[float, float, float]) -> np.ndarray:
+    """First-order upwind ``-(u . grad f)`` with periodic wrap.
+
+    Upwinding keeps the explicit scheme monotone at the jet's sharp
+    gradients, which matters for keeping species mass fractions in [0, 1].
+    """
+    dfdt = np.zeros_like(f)
+    for axis, u in enumerate(velocity):
+        h = spacing[axis]
+        fwd = (np.roll(f, -1, axis) - f) / h       # one-sided toward +axis
+        bwd = (f - np.roll(f, 1, axis)) / h        # one-sided toward -axis
+        dfdt -= np.where(u > 0, u * bwd, u * fwd)
+    return dfdt
+
+
+def vorticity_magnitude(velocity: tuple[np.ndarray, np.ndarray, np.ndarray],
+                        spacing: tuple[float, float, float]) -> np.ndarray:
+    """|curl u| — the field whose fine vortical structures Fig. 1 tracks."""
+    u, v, w = velocity
+    _du_dx, du_dy, du_dz = gradient(u, spacing)
+    dv_dx, _dv_dy, dv_dz = gradient(v, spacing)
+    dw_dx, dw_dy, _dw_dz = gradient(w, spacing)
+    wx = dw_dy - dv_dz
+    wy = du_dz - dw_dx
+    wz = dv_dx - du_dy
+    return np.sqrt(wx * wx + wy * wy + wz * wz)
+
+
+def pad_with_ghosts(parts: list[np.ndarray], decomp: BlockDecomposition3D,
+                    width: int = 1) -> list[np.ndarray]:
+    """Pad every block with ``width`` ghost layers from its neighbours.
+
+    Equivalent to S3D's halo exchange with periodic global topology. The
+    implementation assembles the global array and re-slices with wrap; the
+    *communication volume* this represents is charged separately by the
+    performance layer (each block exchanges its six faces).
+    """
+    if width < 1:
+        raise ValueError(f"ghost width must be >= 1, got {width}")
+    if min(decomp.global_shape) < width:
+        raise ValueError(
+            f"ghost width {width} exceeds smallest global extent "
+            f"{min(decomp.global_shape)}")
+    global_field = decomp.gather(parts)
+    padded_global = np.pad(global_field, [(width, width)] * 3, mode="wrap")
+    out = []
+    for b in decomp.blocks():
+        sl = tuple(slice(lo, hi + 2 * width) for lo, hi in zip(b.lo, b.hi))
+        out.append(np.ascontiguousarray(padded_global[sl]))
+    return out
+
+
+def crop_ghosts(part: np.ndarray, width: int = 1) -> np.ndarray:
+    """Remove ghost layers added by :func:`pad_with_ghosts`."""
+    if width < 1:
+        raise ValueError(f"ghost width must be >= 1, got {width}")
+    sl = tuple(slice(width, -width) for _ in range(3))
+    return part[sl]
+
+
+def halo_exchange_bytes(decomp: BlockDecomposition3D, width: int = 1,
+                        itemsize: int = 8, n_vars: int = 1) -> int:
+    """Bytes each rank sends in one halo exchange (six faces, no corners)."""
+    total = 0
+    b = decomp.block(0)
+    sx, sy, sz = b.shape
+    faces = 2 * (sy * sz + sx * sz + sx * sy)
+    total = faces * width * itemsize * n_vars
+    return total

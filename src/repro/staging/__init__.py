@@ -1,0 +1,31 @@
+"""DataSpaces-like scheduling and coordination layer (paper §IV).
+
+Components mirror Fig. 5 of the paper:
+
+* :class:`~repro.staging.dataspaces.DataSpaces` — the shared-space service:
+  versioned put/get keyed by (name, version), DHT-hashed over service
+  cores, plus the in-transit task queue and free-bucket list;
+* :class:`~repro.staging.descriptors.TaskDescriptor` — an in-transit task:
+  which data regions to pull and what computation to run on them;
+* :class:`~repro.staging.scheduler.TaskScheduler` — matches *data-ready*
+  tasks to *bucket-ready* staging cores first-come first-served;
+* :class:`~repro.staging.buckets.StagingBucket` — a DES process on one
+  staging core: announce readiness, receive a task, asynchronously pull the
+  data via DART, execute the in-transit stage, repeat.
+"""
+
+from repro.staging.hashing import ServiceRing
+from repro.staging.descriptors import TaskDescriptor, TaskResult
+from repro.staging.scheduler import AssignmentRecord, TaskScheduler
+from repro.staging.buckets import StagingBucket
+from repro.staging.dataspaces import DataSpaces
+
+__all__ = [
+    "ServiceRing",
+    "TaskDescriptor",
+    "TaskResult",
+    "AssignmentRecord",
+    "TaskScheduler",
+    "StagingBucket",
+    "DataSpaces",
+]

@@ -1,0 +1,150 @@
+"""Staging buckets: the in-transit worker loop (paper §IV, Fig. 5).
+
+Each staging-area core runs one bucket process:
+
+1. send a *bucket-ready* RPC to the scheduler;
+2. receive an assigned task;
+3. asynchronously pull every data region the task names (RDMA Get via
+   DART);
+4. execute the in-transit computation — the *real* Python computation runs
+   so results are genuine, while the DES clock advances by the cost-model
+   time for the full-scale run;
+5. publish the result and loop.
+
+The bucket stops when it receives the ``StagingBucket.SHUTDOWN`` sentinel
+task.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any
+
+from repro.costmodel.models import CostModel
+from repro.des import Engine
+from repro.staging.descriptors import TaskDescriptor, TaskResult
+from repro.staging.scheduler import TaskScheduler
+from repro.transport.dart import DartTransport
+
+
+class StagingBucket:
+    """One in-transit worker on a named staging core."""
+
+    SHUTDOWN = TaskDescriptor(task_id="__shutdown__", analysis="__shutdown__",
+                              timestep=-1, data=[])
+
+    def __init__(self, name: str, engine: Engine, scheduler: TaskScheduler,
+                 transport: DartTransport, cost_model: CostModel | None = None,
+                 rpc_latency: float = 2.0e-5,
+                 on_task_done: "Any" = None) -> None:
+        self.name = name
+        self.engine = engine
+        self.scheduler = scheduler
+        self.transport = transport
+        self.cost_model = cost_model
+        self.rpc_latency = rpc_latency
+        self.on_task_done = on_task_done
+        self.results: list[TaskResult] = []
+        #: (task_id, sim-time, exception repr) per failed compute attempt.
+        self.failures: list[tuple[str, float, str]] = []
+        self.busy_time: float = 0.0
+
+    def run(self) -> Generator[Any, Any, None]:
+        """The bucket's DES process body."""
+        while True:
+            # bucket-ready RPC costs one short-message latency.
+            yield self.engine.timeout(self.rpc_latency)
+            task: TaskDescriptor = yield self.scheduler.bucket_ready(self.name)
+            if task.task_id == StagingBucket.SHUTDOWN.task_id:
+                return
+            yield from self._execute(task)
+
+    def _execute(self, task: TaskDescriptor) -> Generator[Any, Any, None]:
+        assign_t = self.engine.now
+        enqueue_t = self._enqueue_time(task, assign_t)
+
+        value: Any = None
+        if task.stream_compute is not None:
+            # Streaming mode (§VI): consume each payload the moment its
+            # pull completes, and *prefetch* the next pull while computing
+            # — in-transit compute overlaps the remaining transfers, so
+            # the task takes ~max(total pull, total compute) instead of
+            # their sum.
+            state: Any = None
+            pending = (self.engine.process(self._pull_proc(task.data[0]),
+                                           name=f"{self.name}:pull0")
+                       if task.data else None)
+            for i in range(len(task.data)):
+                payload = yield pending
+                if i + 1 < len(task.data):
+                    pending = self.engine.process(
+                        self._pull_proc(task.data[i + 1]),
+                        name=f"{self.name}:pull{i + 1}")
+                state = task.stream_compute(state, payload)
+                if task.stream_cost_per_payload:
+                    yield self.engine.timeout(task.stream_cost_per_payload)
+            pull_done_t = self.engine.now
+            value = (task.stream_finalize(state)
+                     if task.stream_finalize is not None else state)
+        else:
+            # With retries enabled, producers' regions stay registered so a
+            # re-assigned bucket can pull them again (released on success
+            # or final failure).
+            retain = task.max_retries > 0
+            payloads: list[Any] = []
+            for desc in task.data:
+                payload = yield from self.transport.pull(desc, self.name,
+                                                         release=not retain)
+                payloads.append(payload)
+            pull_done_t = self.engine.now
+            if task.compute is not None:
+                try:
+                    value = task.compute(payloads)
+                except Exception as exc:  # noqa: BLE001 — fault isolation
+                    task.attempts += 1
+                    self.failures.append((task.task_id, self.engine.now,
+                                          repr(exc)))
+                    if task.attempts <= task.max_retries:
+                        self.scheduler.data_ready(task)
+                        return
+                    if retain:
+                        for desc in task.data:
+                            self.transport.release(desc)
+                    if self.on_task_done is not None:
+                        self.on_task_done(None)
+                    raise
+            if retain:
+                for desc in task.data:
+                    self.transport.release(desc)
+        if task.cost_op is not None:
+            if self.cost_model is None:
+                raise RuntimeError(
+                    f"task {task.task_id!r} charges op {task.cost_op!r} but "
+                    f"bucket {self.name!r} has no cost model"
+                )
+            yield self.engine.timeout(
+                self.cost_model.time(task.cost_op, task.cost_elements))
+        finish_t = self.engine.now
+
+        self.busy_time += finish_t - assign_t
+        result = TaskResult(
+            task_id=task.task_id, analysis=task.analysis, timestep=task.timestep,
+            bucket=self.name, value=value,
+            enqueue_time=enqueue_t, assign_time=assign_t,
+            pull_done_time=pull_done_t, finish_time=finish_t,
+            bytes_pulled=task.total_bytes,
+        )
+        self.results.append(result)
+        if self.on_task_done is not None:
+            self.on_task_done(result)
+
+    def _pull_proc(self, desc) -> Generator[Any, Any, Any]:
+        """Wrap one pull as a joinable DES process (streaming prefetch)."""
+        payload = yield from self.transport.pull(desc, self.name)
+        return payload
+
+    def _enqueue_time(self, task: TaskDescriptor, default: float) -> float:
+        for rec in reversed(self.scheduler.assignments):
+            if rec.task_id == task.task_id:
+                return rec.data_ready_time
+        return default

@@ -1,0 +1,308 @@
+"""The DataSpaces shared-space service.
+
+Implements the "scalable, semantically specialized shared space
+abstraction" of §IV: versioned, geometry-aware put/get over a set of
+service cores (keys DHT-hashed via :class:`~repro.staging.hashing.ServiceRing`),
+plus the in-transit workflow wiring — data-ready RPCs, the task queue, and
+bucket management.
+
+Geometry semantics follow DataSpaces: a *put* inserts an n-D array tagged
+with its global index bounds; a *get* for any box of the same (name,
+version) assembles the request from every overlapping put, raising if the
+box is not fully covered.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.costmodel.models import CostModel
+from repro.des import Engine
+from repro.staging.buckets import StagingBucket
+from repro.staging.descriptors import TaskDescriptor
+from repro.staging.hashing import ServiceRing
+from repro.staging.scheduler import TaskScheduler
+from repro.transport.dart import DartTransport
+from repro.transport.messages import DataDescriptor
+
+Bounds = tuple[tuple[int, int], ...]  # ((lo, hi), ...) per axis, hi exclusive
+
+
+def _check_bounds(bounds: Bounds) -> None:
+    for lo, hi in bounds:
+        if hi <= lo:
+            raise ValueError(f"empty or inverted bounds {bounds}")
+
+
+def _intersect(a: Bounds, b: Bounds) -> Bounds | None:
+    if len(a) != len(b):
+        raise ValueError(f"rank mismatch: {a} vs {b}")
+    out = []
+    for (alo, ahi), (blo, bhi) in zip(a, b):
+        lo, hi = max(alo, blo), min(ahi, bhi)
+        if hi <= lo:
+            return None
+        out.append((lo, hi))
+    return tuple(out)
+
+
+def _volume(bounds: Bounds) -> int:
+    v = 1
+    for lo, hi in bounds:
+        v *= hi - lo
+    return v
+
+
+@dataclass
+class _StoredObject:
+    bounds: Bounds | None
+    data: Any
+    put_time: float
+
+
+class DataSpaces:
+    """Shared space + in-transit workflow coordinator."""
+
+    def __init__(self, engine: Engine, transport: DartTransport,
+                 n_servers: int = 4, cost_model: CostModel | None = None,
+                 rpc_latency: float = 2.0e-5) -> None:
+        if n_servers < 1:
+            raise ValueError(f"n_servers must be >= 1, got {n_servers}")
+        self.engine = engine
+        self.transport = transport
+        self.ring = ServiceRing(n_servers)
+        self.cost_model = cost_model
+        self.rpc_latency = rpc_latency
+        self.scheduler = TaskScheduler(engine)
+        self.buckets: list[StagingBucket] = []
+        self._store: dict[tuple[str, int], list[_StoredObject]] = {}
+        self._task_ids = itertools.count()
+        #: RPCs handled per service core (load-balance instrumentation).
+        self.server_rpc_counts: list[int] = [0] * n_servers
+        self._outstanding = 0
+        self._drain_events: list[Any] = []
+
+    # -- tuple space --------------------------------------------------------
+
+    def _rpc(self, key: str) -> None:
+        self.server_rpc_counts[self.ring.server_for(key)] += 1
+
+    def put(self, name: str, version: int, data: Any,
+            bounds: Bounds | None = None) -> None:
+        """Insert an object (optionally geometry-tagged) into the space."""
+        if bounds is not None:
+            _check_bounds(bounds)
+            arr = np.asarray(data)
+            shape = tuple(hi - lo for lo, hi in bounds)
+            if arr.shape != shape:
+                raise ValueError(
+                    f"data shape {arr.shape} does not match bounds extent {shape}"
+                )
+        self._rpc(f"{name}@{version}")
+        self._store.setdefault((name, version), []).append(
+            _StoredObject(bounds=bounds, data=data, put_time=self.engine.now))
+
+    def get(self, name: str, version: int, bounds: Bounds | None = None) -> Any:
+        """Retrieve an object or assemble a geometric sub-box.
+
+        Without ``bounds``: returns the most recent plain put. With
+        ``bounds``: assembles the requested box from all overlapping
+        geometry-tagged puts; raises ``KeyError`` if uncovered cells remain.
+        """
+        self._rpc(f"{name}@{version}")
+        objs = self._store.get((name, version))
+        if not objs:
+            raise KeyError(f"no object {name!r} at version {version}")
+        if bounds is None:
+            plain = [o for o in objs if o.bounds is None]
+            if not plain:
+                raise KeyError(
+                    f"{name!r}@{version} holds only geometric puts; pass bounds")
+            return plain[-1].data
+
+        _check_bounds(bounds)
+        pieces = [o for o in objs if o.bounds is not None]
+        if not pieces:
+            raise KeyError(f"{name!r}@{version} has no geometric puts")
+        shape = tuple(hi - lo for lo, hi in bounds)
+        sample = np.asarray(pieces[0].data)
+        out = np.zeros(shape, dtype=sample.dtype)
+        covered = 0
+        for obj in pieces:
+            inter = _intersect(obj.bounds, bounds)  # type: ignore[arg-type]
+            if inter is None:
+                continue
+            src = np.asarray(obj.data)
+            src_sl = tuple(slice(lo - olo, hi - olo)
+                           for (lo, hi), (olo, _ohi) in zip(inter, obj.bounds))
+            dst_sl = tuple(slice(lo - blo, hi - blo)
+                           for (lo, hi), (blo, _bhi) in zip(inter, bounds))
+            out[dst_sl] = src[src_sl]
+            covered += _volume(inter)
+        if covered < _volume(bounds):
+            raise KeyError(
+                f"requested box {bounds} of {name!r}@{version} is not fully "
+                f"covered ({covered}/{_volume(bounds)} cells)")
+        return out
+
+    def versions(self, name: str) -> list[int]:
+        """All stored versions of ``name`` (ascending)."""
+        return sorted(v for (n, v) in self._store if n == name)
+
+    def query(self, name: str, version_lo: int, version_hi: int
+              ) -> list[tuple[int, Any]]:
+        """All plain (non-geometric) objects of ``name`` with version in
+        ``[version_lo, version_hi]``, ascending — DataSpaces' flexible
+        version-range query used by consumers that lag the producer."""
+        if version_hi < version_lo:
+            raise ValueError(f"empty version range [{version_lo}, {version_hi}]")
+        out = []
+        for v in self.versions(name):
+            if version_lo <= v <= version_hi:
+                plain = [o for o in self._store[(name, v)] if o.bounds is None]
+                if plain:
+                    out.append((v, plain[-1].data))
+        return out
+
+    def stored_bytes(self) -> int:
+        """Approximate bytes held in the space (staging memory pressure)."""
+        total = 0
+        for objs in self._store.values():
+            for o in objs:
+                data = o.data
+                total += int(data.nbytes) if isinstance(data, np.ndarray) else 64
+        return total
+
+    def gc_versions(self, name: str, keep_latest: int) -> int:
+        """Drop all but the newest ``keep_latest`` versions of ``name``.
+
+        Staging memory is the binding constraint on the sustainable
+        analysis frequency (§III); consumers acknowledge versions and the
+        space garbage-collects behind them. Returns versions removed.
+        """
+        if keep_latest < 0:
+            raise ValueError(f"keep_latest must be >= 0, got {keep_latest}")
+        versions = self.versions(name)
+        doomed = versions[:max(0, len(versions) - keep_latest)]
+        for v in doomed:
+            del self._store[(name, v)]
+        return len(doomed)
+
+    # -- workflow: in-situ side ------------------------------------------------
+
+    def submit_insitu_result(self, analysis: str, timestep: int,
+                             source_node: str, payload: Any,
+                             nbytes: int | None = None,
+                             compute: Callable[[list[Any]], Any] | None = None,
+                             cost_op: str | None = None,
+                             cost_elements: int = 0,
+                             task_key: str | None = None,
+                             meta: dict[str, Any] | None = None,
+                             ) -> DataDescriptor:
+        """Register an in-situ result and raise the *data-ready* event.
+
+        Registers the payload for RDMA pulls, then sends the descriptor to
+        the scheduler as a short message (one task per call). For analyses
+        whose in-transit stage consumes *many* regions in one task (e.g.
+        the serial merge-tree glue), use :meth:`submit_grouped_result`.
+        """
+        desc = self.transport.register(source_node, payload,
+                                       meta={"analysis": analysis,
+                                             "timestep": timestep,
+                                             **(meta or {})},
+                                       nbytes=nbytes)
+        task = TaskDescriptor(
+            task_id=task_key or f"{analysis}/t{timestep}/#{next(self._task_ids)}",
+            analysis=analysis, timestep=timestep, data=[desc],
+            compute=compute, cost_op=cost_op, cost_elements=cost_elements,
+        )
+        self._rpc(task.task_id)
+        self._outstanding += 1
+        self.transport.notify("scheduler", task,
+                              nbytes=desc.descriptor_bytes(),
+                              on_delivery=self.scheduler.data_ready)
+        return desc
+
+    def submit_grouped_result(self, analysis: str, timestep: int,
+                              descriptors: Sequence[DataDescriptor],
+                              compute: Callable[[list[Any]], Any] | None = None,
+                              cost_op: str | None = None,
+                              cost_elements: int = 0,
+                              stream_compute: Callable[[Any, Any], Any] | None = None,
+                              stream_finalize: Callable[[Any], Any] | None = None,
+                              stream_cost_per_payload: float = 0.0,
+                              ) -> TaskDescriptor:
+        """Create one in-transit task consuming many registered regions.
+
+        Pass ``compute`` for the buffered mode (all payloads pulled, then
+        processed) or ``stream_compute``/``stream_finalize`` for the
+        streaming mode (each payload processed on arrival).
+        """
+        if not descriptors:
+            raise ValueError("grouped task needs at least one descriptor")
+        task = TaskDescriptor(
+            task_id=f"{analysis}/t{timestep}/#{next(self._task_ids)}",
+            analysis=analysis, timestep=timestep, data=list(descriptors),
+            compute=compute, cost_op=cost_op, cost_elements=cost_elements,
+            stream_compute=stream_compute, stream_finalize=stream_finalize,
+            stream_cost_per_payload=stream_cost_per_payload,
+        )
+        self._rpc(task.task_id)
+        self._outstanding += 1
+        self.transport.notify("scheduler", task, nbytes=512,
+                              on_delivery=self.scheduler.data_ready)
+        return task
+
+    # -- workflow: staging side ---------------------------------------------------
+
+    def spawn_buckets(self, names: Sequence[str]) -> list[StagingBucket]:
+        """Create and start one bucket process per staging core name."""
+        for name in names:
+            bucket = StagingBucket(name, self.engine, self.scheduler,
+                                   self.transport, self.cost_model,
+                                   rpc_latency=self.rpc_latency,
+                                   on_task_done=self._on_task_done)
+            self.buckets.append(bucket)
+            self.engine.process(bucket.run(), name=f"bucket:{name}")
+        return self.buckets
+
+    def _on_task_done(self, _result: Any) -> None:
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            events, self._drain_events = self._drain_events, []
+            for ev in events:
+                ev.succeed(None)
+
+    def drained(self):
+        """Event triggering once every submitted task has completed."""
+        ev = self.engine.event()
+        if self._outstanding == 0:
+            ev.succeed(None)
+        else:
+            self._drain_events.append(ev)
+        return ev
+
+    def shutdown_buckets(self) -> None:
+        """Queue one shutdown sentinel per bucket once all work drains.
+
+        Safe to call immediately after the last submit: sentinels are only
+        inserted after every outstanding task has completed, so they cannot
+        overtake data-ready notifications still in flight.
+        """
+        def drain_then_shutdown():
+            yield self.drained()
+            for _ in self.buckets:
+                self.scheduler.data_ready(StagingBucket.SHUTDOWN)
+
+        self.engine.process(drain_then_shutdown(), name="shutdown")
+
+    def all_results(self) -> list:
+        """All completed in-transit task results across buckets, by finish time."""
+        out = [r for b in self.buckets for r in b.results]
+        out.sort(key=lambda r: r.finish_time)
+        return out

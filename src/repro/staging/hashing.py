@@ -1,0 +1,61 @@
+"""DHT-style key hashing over DataSpaces service cores.
+
+The paper attributes the scheduler's scalability to "the hashing used to
+balance the RPC messages over multiple DataSpaces servers". This module
+provides that mapping: a stable hash ring assigning keys to service cores,
+so RPC load spreads evenly and the assignment is independent of insertion
+order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def _stable_hash(key: str) -> int:
+    """64-bit stable hash (Python's builtin ``hash`` is salted per process)."""
+    return int.from_bytes(hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest(),
+                          "big")
+
+
+class ServiceRing:
+    """Consistent-hash ring over ``n_servers`` service cores.
+
+    Virtual nodes smooth the distribution; ``server_for`` is O(log V).
+    """
+
+    def __init__(self, n_servers: int, virtual_nodes: int = 64) -> None:
+        if n_servers < 1:
+            raise ValueError(f"n_servers must be >= 1, got {n_servers}")
+        if virtual_nodes < 1:
+            raise ValueError(f"virtual_nodes must be >= 1, got {virtual_nodes}")
+        self.n_servers = n_servers
+        self.virtual_nodes = virtual_nodes
+        points: list[tuple[int, int]] = []
+        for server in range(n_servers):
+            for v in range(virtual_nodes):
+                points.append((_stable_hash(f"server-{server}#vn{v}"), server))
+        points.sort()
+        self._ring_keys = [p[0] for p in points]
+        self._ring_servers = [p[1] for p in points]
+
+    def server_for(self, key: str) -> int:
+        """Service core responsible for ``key``."""
+        h = _stable_hash(key)
+        # Binary search for the first ring point >= h (wrap to 0).
+        lo, hi = 0, len(self._ring_keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._ring_keys[mid] < h:
+                lo = mid + 1
+            else:
+                hi = mid
+        idx = lo % len(self._ring_keys)
+        return self._ring_servers[idx]
+
+    def load_histogram(self, keys: list[str]) -> list[int]:
+        """Number of keys landing on each server (for balance tests)."""
+        counts = [0] * self.n_servers
+        for k in keys:
+            counts[self.server_for(k)] += 1
+        return counts

@@ -1,0 +1,131 @@
+"""DART: asynchronous data transport over the DES engine.
+
+Maps the paper's description (§IV, *Communication and Data Movement Layer*)
+onto simulated machinery:
+
+* ``notify`` — SMSG/FMA short message carrying an RPC or descriptor;
+  delivered after the small-message latency, no NIC occupancy modeled
+  (OS-bypass, fire-and-forget);
+* ``pull`` — BTE RDMA Get: the destination posts a get, both endpoints'
+  NICs are occupied for the wire time, and completion events fire at source
+  and destination (DART uses these to schedule follow-on analysis).
+
+Every completed transfer is appended to ``transfers`` for tracing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from typing import Any
+
+from repro.des import Engine, EventHandle, Resource
+from repro.machine.gemini import GeminiNetwork
+from repro.transport.messages import DataDescriptor, TransferRecord
+from repro.transport.rdma import RdmaRegion, RdmaRegistry
+
+
+class DartTransport:
+    """Asynchronous transport between named nodes on one DES engine."""
+
+    def __init__(self, engine: Engine, network: GeminiNetwork | None = None,
+                 nic_channels: int = 1) -> None:
+        self.engine = engine
+        self.network = network or GeminiNetwork()
+        self.registry = RdmaRegistry()
+        self.transfers: list[TransferRecord] = []
+        self._nic_channels = nic_channels
+        self._nics: dict[str, Resource] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, source_node: str, payload: Any,
+                 meta: dict[str, Any] | None = None,
+                 nbytes: int | None = None) -> DataDescriptor:
+        """Register a payload; returns the descriptor to advertise."""
+        region = self.registry.register(source_node, payload, meta, nbytes)
+        return DataDescriptor(region_id=region.region_id,
+                              source_node=source_node,
+                              nbytes=region.nbytes,
+                              meta=region.meta)
+
+    def release(self, descriptor: DataDescriptor) -> None:
+        self.registry.release(descriptor.region_id)
+
+    # -- short messages ---------------------------------------------------------
+
+    def notify(self, dest_node: str, payload: Any, nbytes: int | None = None,
+               on_delivery: Callable[[Any], None] | None = None) -> EventHandle:
+        """Send an SMSG-scale message; event triggers with the payload on
+        delivery at ``dest_node``."""
+        size = nbytes if nbytes is not None else 256
+        delay = self.network.transfer_time(size)
+        ev = self.engine.event()
+        if on_delivery is not None:
+            ev.callbacks.append(on_delivery)
+        self.engine.schedule_event(ev, delay, payload)
+        return ev
+
+    # -- bulk pulls ---------------------------------------------------------------
+
+    def _nic(self, node: str) -> Resource:
+        if node not in self._nics:
+            self._nics[node] = Resource(self.engine, self._nic_channels,
+                                        name=f"nic:{node}")
+        return self._nics[node]
+
+    def pull(self, descriptor: DataDescriptor, dest_node: str,
+             release: bool = True) -> Generator[Any, Any, Any]:
+        """DES process: RDMA-Get the region into ``dest_node``.
+
+        Usage inside a process::
+
+            payload = yield from transport.pull(desc, "staging-3")
+
+        Occupies both endpoints' NICs for the wire time; appends a
+        :class:`TransferRecord`; optionally releases the region (the
+        common case — the producer's scratch buffer is freed as soon as
+        the staging area holds the data).
+        """
+        region: RdmaRegion = self.registry.lookup(descriptor.region_id)
+        protocol = self.network.select_protocol(region.nbytes)
+        start = self.engine.now
+
+        src_nic = self._nic(region.source_node)
+        dst_nic = self._nic(dest_node)
+        # Acquire destination first (the puller posts the Get), then source.
+        yield dst_nic.acquire()
+        try:
+            yield src_nic.acquire()
+            try:
+                wire = self.network.transfer_time(region.nbytes, protocol)
+                yield self.engine.timeout(wire)
+            finally:
+                src_nic.release()
+        finally:
+            dst_nic.release()
+
+        record = TransferRecord(
+            region_id=region.region_id,
+            source_node=region.source_node,
+            dest_node=dest_node,
+            nbytes=region.nbytes,
+            protocol=protocol,
+            start_time=start,
+            end_time=self.engine.now,
+        )
+        self.transfers.append(record)
+        payload = region.payload
+        region.pull_count += 1
+        if release:
+            self.registry.release(descriptor.region_id)
+        return payload
+
+    # -- tracing -------------------------------------------------------------------
+
+    def bytes_moved(self) -> int:
+        return sum(t.nbytes for t in self.transfers)
+
+    def busy_time(self, node: str) -> float:
+        """Total wire time in which ``node`` was an endpoint."""
+        return sum(t.duration for t in self.transfers
+                   if node in (t.source_node, t.dest_node))

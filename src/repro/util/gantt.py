@@ -1,0 +1,83 @@
+"""Text-mode Gantt charts for schedule traces.
+
+Renders per-actor activity spans on a character timeline — used by the
+benchmark harness to visualise bucket occupancy in the Fig.-5 schedule
+replays (which bucket held which task, when).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Span:
+    """One activity: an actor busy on a label during [start, end)."""
+
+    actor: str
+    start: float
+    end: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"span ends ({self.end}) before it starts "
+                             f"({self.start})")
+
+
+def render_gantt(spans: list[Span], width: int = 72,
+                 t0: float | None = None, t1: float | None = None) -> str:
+    """Render spans as one text row per actor.
+
+    Each actor's row shows '#' where it is busy; overlapping spans on one
+    actor merge visually. The header shows the time range.
+    """
+    if not spans:
+        return "(no spans)"
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    lo = min(s.start for s in spans) if t0 is None else t0
+    hi = max(s.end for s in spans) if t1 is None else t1
+    if hi <= lo:
+        hi = lo + 1.0
+    scale = width / (hi - lo)
+
+    actors = sorted({s.actor for s in spans})
+    name_w = max(len(a) for a in actors)
+    lines = [f"{'':{name_w}} |{lo:.1f}s{'':{max(0, width - 12)}}{hi:.1f}s"]
+    for actor in actors:
+        row = [" "] * width
+        for s in spans:
+            if s.actor != actor:
+                continue
+            a = int((s.start - lo) * scale)
+            b = max(a + 1, int((s.end - lo) * scale))
+            for i in range(max(a, 0), min(b, width)):
+                row[i] = "#"
+        lines.append(f"{actor:{name_w}} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def utilisation(spans: list[Span], t0: float, t1: float) -> dict[str, float]:
+    """Busy fraction per actor over [t0, t1) (overlaps merged)."""
+    if t1 <= t0:
+        raise ValueError(f"empty window [{t0}, {t1})")
+    by_actor: dict[str, list[tuple[float, float]]] = {}
+    for s in spans:
+        a, b = max(s.start, t0), min(s.end, t1)
+        if b > a:
+            by_actor.setdefault(s.actor, []).append((a, b))
+    out: dict[str, float] = {}
+    for actor, intervals in by_actor.items():
+        intervals.sort()
+        busy = 0.0
+        cur_a, cur_b = intervals[0]
+        for a, b in intervals[1:]:
+            if a > cur_b:
+                busy += cur_b - cur_a
+                cur_a, cur_b = a, b
+            else:
+                cur_b = max(cur_b, b)
+        busy += cur_b - cur_a
+        out[actor] = busy / (t1 - t0)
+    return out

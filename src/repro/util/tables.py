@@ -1,0 +1,58 @@
+"""Plain-text table rendering for benchmark harnesses.
+
+The benchmark scripts print the same rows the paper's tables report;
+``TextTable`` renders them with aligned columns so the output is directly
+comparable to Tables I and II.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class TextTable:
+    """Accumulate rows and render an aligned plain-text table.
+
+    >>> t = TextTable(["metric", "4896", "9440"])
+    >>> t.add_row(["Simulation time (sec.)", 16.85, 8.42])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, header: Sequence[str], title: str | None = None) -> None:
+        self.title = title
+        self.header = [str(h) for h in header]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        cells = [self._fmt(c) for c in row]
+        if len(cells) != len(self.header):
+            raise ValueError(
+                f"row has {len(cells)} cells, header has {len(self.header)}"
+            )
+        self.rows.append(cells)
+
+    @staticmethod
+    def _fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell != 0 and abs(cell) < 0.01:
+                return f"{cell:.4g}"
+            return f"{cell:.2f}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.header]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        sep = "-+-".join("-" * w for w in widths)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.header, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

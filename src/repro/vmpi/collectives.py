@@ -1,0 +1,107 @@
+"""Analytic time models for MPI collectives on a point-to-point network.
+
+Standard LogP-style costs for the tree/ring algorithms production MPIs use.
+Each function returns seconds for ``p`` ranks exchanging ``nbytes`` per
+rank over a :class:`~repro.machine.gemini.GeminiNetwork`.
+
+These are the costs the performance layer charges when the functional layer
+executes a :class:`~repro.vmpi.comm.VirtualComm` collective.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.machine.gemini import GeminiNetwork
+
+
+def _check(p: int, nbytes: int) -> None:
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+
+
+def point_to_point_time(net: GeminiNetwork, nbytes: int) -> float:
+    """One message between two ranks, DART protocol auto-selected."""
+    return net.transfer_time(nbytes)
+
+
+def bcast_time(net: GeminiNetwork, p: int, nbytes: int) -> float:
+    """Binomial-tree broadcast: ``ceil(log2 p)`` rounds of one message."""
+    _check(p, nbytes)
+    if p == 1:
+        return 0.0
+    rounds = math.ceil(math.log2(p))
+    return rounds * net.transfer_time(nbytes)
+
+
+def reduce_time(net: GeminiNetwork, p: int, nbytes: int) -> float:
+    """Binomial-tree reduction to a root (same shape as bcast)."""
+    return bcast_time(net, p, nbytes)
+
+
+def allreduce_time(net: GeminiNetwork, p: int, nbytes: int) -> float:
+    """Rabenseifner allreduce: reduce-scatter + allgather.
+
+    ``2 (p-1)/p · n / bw``-bytes of traffic on the critical path plus
+    ``2 log2 p`` latency terms.
+    """
+    _check(p, nbytes)
+    if p == 1:
+        return 0.0
+    rounds = 2 * math.ceil(math.log2(p))
+    lat = rounds * net.bte_setup if nbytes > net.smsg_max_bytes else rounds * net.smsg_latency
+    bw = net.bte_bandwidth if nbytes > net.smsg_max_bytes else net.smsg_bandwidth
+    return lat + 2.0 * (p - 1) / p * nbytes / bw
+
+
+def gather_time(net: GeminiNetwork, p: int, nbytes: int) -> float:
+    """Gather of ``nbytes`` from each rank to a root.
+
+    The root's ingest link serialises the ``(p-1)·n`` bytes; latency is
+    pipelined down a binomial tree.
+    """
+    _check(p, nbytes)
+    if p == 1:
+        return 0.0
+    lat = math.ceil(math.log2(p)) * net.transfer_time(0)
+    bw = net.bte_bandwidth if (p - 1) * nbytes > net.smsg_max_bytes else net.smsg_bandwidth
+    return lat + (p - 1) * nbytes / bw
+
+
+def allgather_time(net: GeminiNetwork, p: int, nbytes: int) -> float:
+    """Ring allgather: ``p-1`` steps each moving ``nbytes``."""
+    _check(p, nbytes)
+    if p == 1:
+        return 0.0
+    return (p - 1) * net.transfer_time(nbytes)
+
+
+def alltoall_time(net: GeminiNetwork, p: int, nbytes: int) -> float:
+    """Pairwise-exchange alltoall: ``p-1`` rounds of ``nbytes`` messages."""
+    _check(p, nbytes)
+    if p == 1:
+        return 0.0
+    return (p - 1) * net.transfer_time(nbytes)
+
+
+def scan_time(net: GeminiNetwork, p: int, nbytes: int) -> float:
+    """Hillis-Steele inclusive scan: ``ceil(log2 p)`` exchange rounds."""
+    _check(p, nbytes)
+    if p == 1:
+        return 0.0
+    return math.ceil(math.log2(p)) * net.transfer_time(nbytes)
+
+
+def reduce_scatter_time(net: GeminiNetwork, p: int, nbytes: int) -> float:
+    """Pairwise-halving reduce-scatter of ``nbytes`` total per rank:
+    moves ``(p-1)/p * nbytes`` over ``log2 p`` latency rounds."""
+    _check(p, nbytes)
+    if p == 1:
+        return 0.0
+    rounds = math.ceil(math.log2(p))
+    lat = rounds * (net.bte_setup if nbytes > net.smsg_max_bytes
+                    else net.smsg_latency)
+    bw = net.bte_bandwidth if nbytes > net.smsg_max_bytes else net.smsg_bandwidth
+    return lat + (p - 1) / p * nbytes / bw

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.steps == 5
+        assert args.grid == [24, 16, 12]
+        assert not args.streaming
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table II" in out
+        assert "16.85" in out
+        assert "hybrid in-situ/in-transit topology" in out
+
+    def test_simulate_small(self, capsys):
+        rc = main(["simulate", "--steps", "2", "--grid", "10", "8", "6",
+                   "--ranks", "2", "1", "1", "--buckets", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean T" in out
+        assert "intermediate data moved" in out
+
+    def test_simulate_streaming_mode(self, capsys):
+        rc = main(["simulate", "--steps", "2", "--grid", "10", "8", "6",
+                   "--ranks", "2", "1", "1", "--streaming"])
+        assert rc == 0
+
+    def test_track(self, capsys):
+        rc = main(["track", "--steps", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lifetime" in out
+
+    def test_render(self, tmp_path, capsys):
+        prefix = str(tmp_path / "frame")
+        rc = main(["render", "--steps", "2", "--size", "16",
+                   "--prefix", prefix])
+        assert rc == 0
+        assert (tmp_path / "frame_insitu.ppm").exists()
+        assert (tmp_path / "frame_hybrid.ppm").exists()
+        assert "RMSE" in capsys.readouterr().out
+
+    def test_tradeoff(self, capsys):
+        assert main(["tradeoff"]) == 0
+        out = capsys.readouterr().out
+        assert "post @400" in out and "hybrid @1" in out
+
+    def test_schedule_healthy(self, capsys):
+        rc = main(["schedule", "--steps", "4", "--buckets", "8"])
+        assert rc == 0
+        assert "keeps pace" in capsys.readouterr().out
+
+    def test_schedule_overloaded_returns_nonzero(self, capsys):
+        rc = main(["schedule", "--steps", "4", "--buckets", "1"])
+        assert rc == 1
+        assert "queue grows" in capsys.readouterr().out
+
+    def test_simulate_with_report(self, capsys):
+        rc = main(["simulate", "--steps", "2", "--grid", "10", "8", "6",
+                   "--ranks", "2", "1", "1", "--report"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bucket occupancy" in out
+        assert "in-transit activity" in out

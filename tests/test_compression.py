@@ -1,0 +1,151 @@
+"""Tests for the ISABELA-style compression substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.compression import (
+    compress,
+    decompress,
+    query_range,
+    query_values,
+    relative_error,
+)
+
+
+def _smooth_field(shape=(16, 16, 8), seed=90):
+    rng = np.random.default_rng(seed)
+    coords = np.stack(np.mgrid[[slice(0, s) for s in shape]]).astype(float)
+    f = np.zeros(shape)
+    for _ in range(5):
+        c = [rng.uniform(0, s) for s in shape]
+        f += rng.uniform(0.5, 2.0) * np.exp(
+            -sum((coords[a] - c[a]) ** 2 for a in range(3)) / rng.uniform(6, 20))
+    return f
+
+
+class TestRoundtrip:
+    def test_shape_preserved(self):
+        f = _smooth_field()
+        c = compress(f)
+        r = decompress(c)
+        assert r.shape == f.shape
+
+    def test_low_error_on_smooth_fields(self):
+        """Sorted windows of smooth fields fit splines very well: a few
+        percent relative error at ~10x value compression (the ISABELA
+        trade-off at this window/coefficient setting)."""
+        f = _smooth_field()
+        c = compress(f, window_size=256, n_coefficients=10)
+        err = relative_error(f, decompress(c))
+        assert err < 0.05
+        assert c.value_compression_ratio() > 8
+
+    def test_error_decreases_with_coefficients(self):
+        f = _smooth_field(seed=91)
+        errs = [relative_error(f, decompress(compress(f, 256, n)))
+                for n in (6, 12, 24, 48)]
+        assert errs[-1] < errs[0]
+
+    def test_positions_exact_within_windows(self):
+        """The permutation preserves positions: within every window, the
+        location of the window maximum survives compression exactly
+        (values are approximate, placement is not)."""
+        f = _smooth_field(seed=92)
+        c = compress(f, window_size=128)
+        r = decompress(c).ravel()
+        flat = f.ravel()
+        for i in range(0, flat.size, 128):
+            fw = flat[i:i + 128]
+            rw = r[i:i + 128]
+            assert np.argmax(fw) == np.argmax(rw)
+
+    def test_extrema_clamped(self):
+        f = _smooth_field(seed=93)
+        r = decompress(compress(f))
+        assert r.min() >= f.min() - 1e-12
+        assert r.max() <= f.max() + 1e-12
+
+    def test_random_noise_still_bounded(self):
+        """Pure noise is ISABELA's hard case; error stays bounded because
+        even noise sorts into a monotone curve."""
+        f = np.random.default_rng(94).random((8, 8, 8))
+        err = relative_error(f, decompress(compress(f, 128, 16)))
+        assert err < 0.15
+
+    def test_partial_last_window(self):
+        f = np.random.default_rng(95).random(300)  # not a multiple of 256
+        r = decompress(compress(f, window_size=256))
+        assert r.shape == (300,)
+        assert relative_error(f, r) < 0.2
+
+    def test_constant_field(self):
+        f = np.full((8, 8, 4), 3.25)
+        r = decompress(compress(f))
+        np.testing.assert_allclose(r, 3.25, atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compress(np.zeros(100), window_size=4)
+        with pytest.raises(ValueError):
+            compress(np.zeros(100), n_coefficients=2)
+        with pytest.raises(ValueError):
+            compress(np.array([]))
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_property_error_bounded_random_fields(self, seed):
+        f = _smooth_field(shape=(8, 8, 8), seed=seed)
+        err = relative_error(f, decompress(compress(f, 128, 12)))
+        assert err < 0.1
+
+
+class TestQueries:
+    def test_window_pruning(self):
+        f = _smooth_field(seed=96)
+        c = compress(f, window_size=128)
+        hot = query_range(c, 0.9 * float(f.max()), float(f.max()))
+        assert hot.sum() < len(c.windows)  # most windows pruned
+        everything = query_range(c, float(f.min()), float(f.max()))
+        assert everything.all()
+
+    def test_query_values_superset_of_truth(self):
+        """Compressed query hits include every true hit's window; value
+        hits agree with the reconstruction."""
+        f = _smooth_field(seed=97)
+        c = compress(f, window_size=128, n_coefficients=24)
+        lo, hi = 0.8 * float(f.max()), float(f.max())
+        hits = query_values(c, lo, hi)
+        r = decompress(c).ravel()
+        np.testing.assert_array_equal(
+            np.sort(hits), np.flatnonzero((r >= lo) & (r <= hi)))
+
+    def test_query_recall_on_reconstruction_tolerance(self):
+        """With a tolerance equal to the compression error, the query
+        recalls all true hits."""
+        f = _smooth_field(seed=98)
+        c = compress(f, window_size=128, n_coefficients=24)
+        err = relative_error(f, decompress(c)) * (f.max() - f.min())
+        lo = 0.85 * float(f.max())
+        true_hits = set(np.flatnonzero(f.ravel() >= lo))
+        approx_hits = set(query_values(c, lo - err, float(f.max()) + err))
+        assert true_hits <= approx_hits
+
+    def test_empty_query(self):
+        f = _smooth_field(seed=99)
+        c = compress(f)
+        assert query_values(c, f.max() + 1.0, f.max() + 2.0).size == 0
+
+    def test_invalid_range(self):
+        c = compress(_smooth_field())
+        with pytest.raises(ValueError):
+            query_range(c, 1.0, 0.0)
+
+
+class TestSizeAccounting:
+    def test_value_bytes_below_raw(self):
+        f = _smooth_field()
+        c = compress(f, 256, 10)
+        assert c.value_bytes < f.nbytes / 8
+        assert c.nbytes == c.value_bytes + c.index_bytes
+        assert c.compression_ratio() > 1.0

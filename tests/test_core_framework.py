@@ -1,0 +1,127 @@
+"""End-to-end tests of the functional hybrid pipeline (HybridFramework)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics.stages import derive, learn
+from repro.analysis.topology.merge_tree import compute_merge_tree
+from repro.core import HybridFramework
+from repro.sim import LiftedFlameCase, StructuredGrid3D
+from repro.vmpi import BlockDecomposition3D
+
+GRID_SHAPE = (12, 10, 8)
+
+
+@pytest.fixture(scope="module")
+def pipeline_result():
+    """One shared 3-step run exercising all analyses (module-scoped: the
+    functional pipeline is the slowest fixture in the suite)."""
+    grid = StructuredGrid3D(GRID_SHAPE, (1.5, 1.2, 1.0))
+    case = LiftedFlameCase(grid, seed=42, kernel_rate=1.0)
+    decomp = BlockDecomposition3D(GRID_SHAPE, (2, 2, 1))
+    fw = HybridFramework(
+        case, decomp,
+        analyses=("statistics", "topology", "visualization",
+                  "visualization_insitu"),
+        stats_variables=("T", "H2"),
+        downsample_stride=2,
+        n_buckets=3,
+        keep_fields=True,
+    )
+    return fw, fw.run(n_steps=3)
+
+
+class TestFrameworkRun:
+    def test_all_steps_analysed(self, pipeline_result):
+        _fw, res = pipeline_result
+        assert res.analysed_steps == [0, 1, 2]
+        assert set(res.statistics) == {0, 1, 2}
+        assert set(res.merge_trees) == {0, 1, 2}
+        assert set(res.hybrid_images) == {0, 1, 2}
+        assert set(res.insitu_images) == {0, 1, 2}
+
+    def test_statistics_match_serial_reference(self, pipeline_result):
+        """The staged, RDMA-pulled, serially-derived statistics equal a
+        direct learn+derive on the gathered field."""
+        _fw, res = pipeline_result
+        for step in (0, 1, 2):
+            field = res.temperature_fields[step]
+            ref = derive(learn(field))
+            got = res.statistics[step]["T"]
+            assert got.n == field.size
+            assert got.mean == pytest.approx(ref.mean, rel=1e-12)
+            assert got.variance == pytest.approx(ref.variance, rel=1e-9)
+
+    def test_merge_tree_matches_global_reference(self, pipeline_result):
+        """The glued in-transit tree equals the tree of the gathered field."""
+        _fw, res = pipeline_result
+        for step in (0, 1, 2):
+            ref_tree, _ = compute_merge_tree(res.temperature_fields[step])
+            glued = res.merge_trees[step]
+            assert glued.reduced().signature() == ref_tree.reduced().signature()
+
+    def test_images_have_content(self, pipeline_result):
+        _fw, res = pipeline_result
+        for step in (0, 1, 2):
+            hybrid = res.hybrid_images[step]
+            insitu = res.insitu_images[step]
+            assert hybrid.shape == insitu.shape == (32, 32, 3)
+            assert hybrid.max() > 0.0 and insitu.max() > 0.0
+
+    def test_hybrid_image_approximates_insitu(self, pipeline_result):
+        """Fig. 2: the down-sampled in-transit render resembles the
+        full-resolution in-situ render."""
+        from repro.util import image_rmse
+        _fw, res = pipeline_result
+        err = image_rmse(res.hybrid_images[0], res.insitu_images[0])
+        assert err < 0.25
+
+    def test_tasks_ran_on_staging_buckets(self, pipeline_result):
+        _fw, res = pipeline_result
+        # 3 steps x 3 staged analyses (in-situ viz does not stage)
+        assert len(res.task_results) == 9
+        assert all(r.bucket.startswith("staging-") for r in res.task_results)
+        assert res.bytes_moved > 0
+
+    def test_movement_far_below_raw_data(self, pipeline_result):
+        """Intermediate results are much smaller than the raw state."""
+        fw, res = pipeline_result
+        raw_per_step = fw.solver.assemble().nbytes
+        assert res.bytes_moved < 3 * raw_per_step
+
+    def test_simulation_actually_advanced(self, pipeline_result):
+        fw, res = pipeline_result
+        assert fw.solver.step_count == 3
+        assert not np.array_equal(res.temperature_fields[0],
+                                  res.temperature_fields[2])
+
+
+class TestFrameworkConfig:
+    def _mk(self, **kw):
+        grid = StructuredGrid3D((8, 8, 8))
+        case = LiftedFlameCase(grid, seed=1)
+        decomp = BlockDecomposition3D((8, 8, 8), (2, 1, 1))
+        return HybridFramework(case, decomp, **kw)
+
+    def test_unknown_analysis_rejected(self):
+        with pytest.raises(ValueError, match="unknown analysis"):
+            self._mk(analyses=("statistics", "nonsense"))
+
+    def test_run_validation(self):
+        fw = self._mk(analyses=("statistics",))
+        with pytest.raises(ValueError):
+            fw.run(0)
+        with pytest.raises(ValueError):
+            fw.run(1, analysis_interval=0)
+
+    def test_analysis_interval_skips_steps(self):
+        fw = self._mk(analyses=("statistics",), n_buckets=2)
+        res = fw.run(n_steps=4, analysis_interval=2)
+        assert sorted(res.statistics) == [0, 2]
+
+    def test_statistics_only_pipeline(self):
+        fw = self._mk(analyses=("statistics",), stats_variables=("T",))
+        res = fw.run(n_steps=2)
+        assert set(res.statistics) == {0, 1}
+        assert res.merge_trees == {}
+        assert res.hybrid_images == {}

@@ -1,0 +1,277 @@
+"""Tests for the discrete-event engine and its resources."""
+
+import pytest
+
+from repro.des import Engine, Interrupt, Resource, Store
+
+
+class TestEngineBasics:
+    def test_timeout_advances_clock(self):
+        eng = Engine()
+        log = []
+
+        def proc():
+            yield eng.timeout(1.5)
+            log.append(eng.now)
+            yield eng.timeout(2.0)
+            log.append(eng.now)
+
+        eng.process(proc())
+        eng.run()
+        assert log == [1.5, 3.5]
+
+    def test_negative_delay_raises(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            eng.timeout(-1.0)
+
+    def test_run_until_stops_clock(self):
+        eng = Engine()
+
+        def proc():
+            yield eng.timeout(10.0)
+
+        eng.process(proc())
+        t = eng.run(until=4.0)
+        assert t == 4.0
+        assert eng.now == 4.0
+        eng.run()
+        assert eng.now == 10.0
+
+    def test_deterministic_tie_breaking(self):
+        eng = Engine()
+        order = []
+
+        def proc(tag):
+            yield eng.timeout(1.0)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            eng.process(proc(tag))
+        eng.run()
+        assert order == ["a", "b", "c"]
+
+    def test_event_value_passed_to_waiter(self):
+        eng = Engine()
+        ev = eng.event()
+        got = []
+
+        def waiter():
+            value = yield ev
+            got.append(value)
+
+        eng.process(waiter())
+        eng.schedule_event(ev, 2.0, "payload")
+        eng.run()
+        assert got == ["payload"]
+        assert eng.now == 2.0
+
+    def test_event_double_trigger_raises(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed(1)
+        with pytest.raises(RuntimeError):
+            ev.succeed(2)
+
+    def test_wait_on_already_triggered_event(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed("x")
+        got = []
+
+        def waiter():
+            got.append((yield ev))
+
+        eng.process(waiter())
+        eng.run()
+        assert got == ["x"]
+
+    def test_process_join(self):
+        eng = Engine()
+        trace = []
+
+        def child():
+            yield eng.timeout(3.0)
+            return "done"
+
+        def parent():
+            result = yield eng.process(child())
+            trace.append((eng.now, result))
+
+        eng.process(parent())
+        eng.run()
+        assert trace == [(3.0, "done")]
+
+    def test_run_until_done_returns_result(self):
+        eng = Engine()
+
+        def proc():
+            yield eng.timeout(1.0)
+            return 42
+
+        p = eng.process(proc())
+        assert eng.run_until_done(p) == 42
+
+    def test_run_until_done_detects_deadlock(self):
+        eng = Engine()
+        ev = eng.event()  # never triggered
+
+        def proc():
+            yield ev
+
+        p = eng.process(proc())
+        with pytest.raises(RuntimeError, match="deadlock"):
+            eng.run_until_done(p)
+
+    def test_interrupt_raises_in_process(self):
+        eng = Engine()
+        seen = []
+
+        def victim():
+            try:
+                yield eng.timeout(100.0)
+            except Interrupt as i:
+                seen.append(i.cause)
+
+        def attacker(p):
+            yield eng.timeout(1.0)
+            p.interrupt("stop")
+
+        p = eng.process(victim())
+        eng.process(attacker(p))
+        eng.run()
+        assert seen == ["stop"]
+
+    def test_call_at(self):
+        eng = Engine()
+        hits = []
+        eng.call_at(5.0, lambda: hits.append(eng.now))
+        eng.run()
+        assert hits == [5.0]
+
+    def test_call_at_past_raises(self):
+        eng = Engine()
+        eng.call_at(1.0, lambda: None)
+        eng.run()
+        with pytest.raises(ValueError):
+            eng.call_at(0.5, lambda: None)
+
+    def test_yield_bad_object_raises_typeerror_in_process(self):
+        eng = Engine()
+        caught = []
+
+        def proc():
+            try:
+                yield "not-an-event"
+            except TypeError as e:
+                caught.append(str(e))
+
+        eng.process(proc())
+        eng.run()
+        assert caught and "unsupported" in caught[0]
+
+
+class TestStore:
+    def test_fifo_order(self):
+        eng = Engine()
+        store = Store(eng)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        eng.process(consumer())
+        for i in range(3):
+            store.put(i)
+        eng.run()
+        assert got == [0, 1, 2]
+
+    def test_get_blocks_until_put(self):
+        eng = Engine()
+        store = Store(eng)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((item, eng.now))
+
+        def producer():
+            yield eng.timeout(4.0)
+            store.put("x")
+
+        eng.process(consumer())
+        eng.process(producer())
+        eng.run()
+        assert got == [("x", 4.0)]
+
+    def test_multiple_getters_fcfs(self):
+        eng = Engine()
+        store = Store(eng)
+        got = []
+
+        def consumer(tag):
+            item = yield store.get()
+            got.append((tag, item))
+
+        eng.process(consumer("first"))
+        eng.process(consumer("second"))
+        eng.run()
+        store.put(1)
+        store.put(2)
+        eng.run()
+        assert got == [("first", 1), ("second", 2)]
+
+    def test_snapshot(self):
+        eng = Engine()
+        store = Store(eng)
+        store.put("a")
+        store.put("b")
+        assert store.items_snapshot() == ["a", "b"]
+        assert len(store) == 2
+
+
+class TestResource:
+    def test_capacity_enforced(self):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+        times = []
+
+        def worker(tag):
+            yield res.acquire()
+            yield eng.timeout(2.0)
+            times.append((tag, eng.now))
+            res.release()
+
+        eng.process(worker("a"))
+        eng.process(worker("b"))
+        eng.run()
+        assert times == [("a", 2.0), ("b", 4.0)]
+
+    def test_parallel_capacity(self):
+        eng = Engine()
+        res = Resource(eng, capacity=2)
+        times = []
+
+        def worker(tag):
+            yield res.acquire()
+            yield eng.timeout(2.0)
+            times.append((tag, eng.now))
+            res.release()
+
+        for tag in "abc":
+            eng.process(worker(tag))
+        eng.run()
+        assert times == [("a", 2.0), ("b", 2.0), ("c", 4.0)]
+
+    def test_release_idle_raises(self):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+        with pytest.raises(RuntimeError):
+            res.release()
+
+    def test_bad_capacity_raises(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            Resource(eng, capacity=0)

@@ -1,0 +1,155 @@
+"""Tests for the combustion diagnostic fields."""
+
+import numpy as np
+import pytest
+
+from repro.sim import LiftedFlameCase, S3DProxy, StructuredGrid3D
+from repro.sim.diagnostics import (
+    add_diagnostics,
+    heat_release_rate,
+    mixture_fraction,
+    scalar_dissipation,
+    stoichiometric_mixture_fraction,
+    takeno_flame_index,
+)
+from repro.sim.fields import FieldSet
+
+
+@pytest.fixture(scope="module")
+def flame_fields():
+    grid = StructuredGrid3D((24, 16, 12), (3.0, 2.0, 1.5))
+    solver = S3DProxy(LiftedFlameCase(grid, seed=71, kernel_rate=1.5))
+    solver.step(5)
+    return solver.fields
+
+
+class TestMixtureFraction:
+    def test_bounds(self, flame_fields):
+        z = mixture_fraction(flame_fields)
+        assert z.min() >= 0.0 and z.max() <= 1.0
+
+    def test_pure_streams(self):
+        grid = StructuredGrid3D((4, 4, 4))
+        fs = FieldSet(grid)
+        # pure fuel stream
+        fs["H2"] = np.full(grid.shape, 0.3)
+        z = mixture_fraction(fs)
+        np.testing.assert_allclose(z, 1.0)
+        # pure oxidizer stream
+        fs["H2"] = np.zeros(grid.shape)
+        fs["O2"] = np.full(grid.shape, 0.233)
+        np.testing.assert_allclose(mixture_fraction(fs), 0.0)
+
+    def test_conserved_under_reaction(self):
+        """Z built on the element-conserved coupling function: consuming
+        H2 and O2 stoichiometrically while producing H2O leaves Z fixed."""
+        grid = StructuredGrid3D((2, 2, 2))
+        fs = FieldSet(grid)
+        fs["H2"] = np.full(grid.shape, 0.1)
+        fs["O2"] = np.full(grid.shape, 0.2)
+        z_before = mixture_fraction(fs)
+        # react: dH2 = -w/9, dO2 = -8w/9, dH2O = +w
+        w = 0.05
+        fs["H2"] = fs["H2"] - w / 9.0
+        fs["O2"] = fs["O2"] - 8.0 * w / 9.0
+        fs["H2O"] = fs["H2O"] + w
+        np.testing.assert_allclose(mixture_fraction(fs), z_before, atol=1e-12)
+
+    def test_jet_structure(self, flame_fields):
+        """Z is high on the jet axis, low in the coflow."""
+        z = mixture_fraction(flame_fields)
+        assert z[:, 8, 6].mean() > z[:, 0, 0].mean()
+
+    def test_stoichiometric_value(self):
+        z_st = stoichiometric_mixture_fraction()
+        assert 0.0 < z_st < 1.0
+        # for the defaults: beta_ox = -0.0291, beta_fu = 0.3
+        assert z_st == pytest.approx(0.0291 / 0.3291, rel=1e-2)
+
+    def test_validation(self, flame_fields):
+        with pytest.raises(ValueError):
+            mixture_fraction(flame_fields, fuel_h2=0.0)
+        with pytest.raises(ValueError):
+            mixture_fraction(flame_fields, oxidizer_o2=-1.0)
+
+
+class TestScalarDissipation:
+    def test_nonnegative(self, flame_fields):
+        chi = scalar_dissipation(flame_fields, 1.5e-3)
+        assert chi.min() >= 0.0
+
+    def test_peaks_in_mixing_layer(self, flame_fields):
+        """chi concentrates where Z gradients live — the shear layer, not
+        the jet core or the far coflow."""
+        chi = scalar_dissipation(flame_fields, 1.5e-3)
+        corner = chi[:, 0, 0].mean()    # far coflow: essentially unmixed
+        assert chi.max() > 1e3 * max(corner, 1e-30)
+
+    def test_scales_linearly_with_diffusivity(self, flame_fields):
+        a = scalar_dissipation(flame_fields, 1e-3)
+        b = scalar_dissipation(flame_fields, 2e-3)
+        np.testing.assert_allclose(b, 2 * a, rtol=1e-12)
+
+    def test_validation(self, flame_fields):
+        with pytest.raises(ValueError):
+            scalar_dissipation(flame_fields, 0.0)
+
+
+class TestHeatRelease:
+    def test_nonnegative_and_localised(self, flame_fields):
+        hrr = heat_release_rate(flame_fields)
+        assert hrr.min() >= 0.0
+        assert hrr.max() > 0.0
+        # burning is localised: most of the domain is (near) inert
+        assert np.quantile(hrr, 0.5) < 0.1 * hrr.max()
+
+    def test_zero_without_fuel(self):
+        grid = StructuredGrid3D((3, 3, 3))
+        fs = FieldSet(grid)
+        fs["T"] = np.full(grid.shape, 2.0)
+        fs["O2"] = np.full(grid.shape, 0.2)
+        np.testing.assert_array_equal(heat_release_rate(fs), 0.0)
+
+
+class TestFlameIndex:
+    def test_bounds(self, flame_fields):
+        fi = takeno_flame_index(flame_fields)
+        assert fi.min() >= -1.0 and fi.max() <= 1.0
+
+    def test_opposed_gradients_negative(self):
+        """A pure diffusion-flame structure: fuel and oxidizer approach
+        from opposite sides -> index = -1."""
+        grid = StructuredGrid3D((16, 4, 4), (1.0, 1.0, 1.0))
+        fs = FieldSet(grid)
+        x = grid.meshgrid()[0]
+        fs["H2"] = 0.3 * x            # fuel increases with x
+        fs["O2"] = 0.233 * (1.0 - x)  # oxidizer decreases
+        fi = takeno_flame_index(fs)
+        interior = fi[2:-2]
+        np.testing.assert_allclose(interior, -1.0, atol=1e-9)
+
+    def test_aligned_gradients_positive(self):
+        grid = StructuredGrid3D((16, 4, 4))
+        fs = FieldSet(grid)
+        x = grid.meshgrid()[0]
+        fs["H2"] = 0.3 * x
+        fs["O2"] = 0.233 * x  # both increase together (premixed front)
+        fi = takeno_flame_index(fs)
+        np.testing.assert_allclose(fi[2:-2], 1.0, atol=1e-9)
+
+
+class TestAddDiagnostics:
+    def test_fields_attached(self, flame_fields):
+        fs = flame_fields.copy()
+        add_diagnostics(fs)
+        for name in ("Z", "chi", "HRR", "FI"):
+            assert name in fs
+            assert fs[name].shape == fs.grid.shape
+
+    def test_diagnostics_usable_by_analyses(self, flame_fields):
+        """Derived fields feed the existing pipelines unchanged."""
+        from repro.analysis.topology import segment_superlevel
+        fs = flame_fields.copy()
+        add_diagnostics(fs)
+        seg = segment_superlevel(fs["HRR"], 0.5 * float(fs["HRR"].max()))
+        assert seg.n_features >= 1

@@ -1,0 +1,129 @@
+"""Tests for binary-swap parallel compositing and its cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.visualization import (
+    Camera,
+    TransferFunction,
+    binary_swap_composite,
+    binary_swap_time,
+    direct_send_time,
+    pad_to_power_of_two,
+)
+from repro.analysis.visualization.compositing import (
+    composite_partials,
+    render_block_partial,
+    visibility_order,
+)
+from repro.machine.gemini import GeminiNetwork
+from repro.util import image_rmse
+from repro.util.units import MB
+from repro.vmpi import BlockDecomposition3D
+
+
+def _partials_from_scene(proc_grid=(2, 2, 2), shape=(12, 10, 8), seed=70):
+    rng = np.random.default_rng(seed)
+    coords = np.stack(np.mgrid[[slice(0, s) for s in shape]]).astype(float)
+    f = np.zeros(shape)
+    for _ in range(4):
+        c = [rng.uniform(1, s - 1) for s in shape]
+        f += rng.uniform(0.5, 1.5) * np.exp(
+            -sum((coords[a] - c[a]) ** 2 for a in range(3)) / 6.0)
+    decomp = BlockDecomposition3D(shape, proc_grid)
+    tf = TransferFunction.hot(float(f.min()), float(f.max()))
+    cam = Camera(image_shape=(10, 10), azimuth_deg=25, elevation_deg=15)
+    partials = [render_block_partial(f, b, decomp, cam, tf)
+                for b in decomp.blocks()]
+    _, direction, _ = cam.rays(shape)
+    order = visibility_order(decomp, direction)
+    return partials, order
+
+
+class TestBinarySwap:
+    def test_matches_direct_compositing(self):
+        partials, order = _partials_from_scene()
+        direct = composite_partials(partials, order)
+        rgb, alpha, _ = binary_swap_composite(partials, order)
+        swapped = rgb + (1.0 - alpha[..., None]) * 0.0
+        assert image_rmse(direct, swapped) < 1e-9
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=8, deadline=None)
+    def test_property_matches_direct_random_scenes(self, seed):
+        partials, order = _partials_from_scene(seed=seed)
+        direct = composite_partials(partials, order)
+        rgb, alpha, _ = binary_swap_composite(partials, order)
+        assert image_rmse(direct, rgb) < 1e-9
+
+    def test_two_ranks(self):
+        partials, order = _partials_from_scene(proc_grid=(2, 1, 1))
+        direct = composite_partials(partials, order)
+        rgb, _a, _ = binary_swap_composite(partials, order)
+        assert image_rmse(direct, rgb) < 1e-9
+
+    def test_non_power_of_two_rejected(self):
+        partials, _ = _partials_from_scene(proc_grid=(3, 1, 1))
+        with pytest.raises(ValueError, match="power-of-two"):
+            binary_swap_composite(partials, [0, 1, 2])
+
+    def test_padding_enables_any_count(self):
+        partials, order = _partials_from_scene(proc_grid=(3, 1, 1))
+        direct = composite_partials(partials, order)
+        padded = pad_to_power_of_two(partials)
+        assert len(padded) == 4
+        rgb, _a, _ = binary_swap_composite(padded, order + [3])
+        assert image_rmse(direct, rgb) < 1e-9
+
+    def test_bad_order_rejected(self):
+        partials, _ = _partials_from_scene(proc_grid=(2, 1, 1))
+        with pytest.raises(ValueError, match="permutation"):
+            binary_swap_composite(partials, [0, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            binary_swap_composite([], [])
+        with pytest.raises(ValueError):
+            pad_to_power_of_two([])
+
+    def test_bytes_exchanged_bounded_by_one_image(self):
+        """The binary-swap property: per-rank traffic ~ one image."""
+        partials, order = _partials_from_scene()
+        h, w, _ = partials[0][0].shape
+        image_bytes = h * w * 4 * 8
+        _rgb, _a, sent = binary_swap_composite(partials, order)
+        assert sent <= image_bytes
+
+
+class TestCompositingCostModel:
+    def setup_method(self):
+        self.net = GeminiNetwork()
+
+    def test_swap_beats_direct_at_scale(self):
+        """At the paper's 4480 ranks, binary swap is orders of magnitude
+        cheaper than funnelling full partials into one root."""
+        image = 4 * MB
+        swap = binary_swap_time(self.net, 4480, image)
+        direct = direct_send_time(self.net, 4480, image)
+        assert swap < direct / 100
+
+    def test_swap_time_grows_sublinearly_with_ranks(self):
+        """64x more ranks costs ~5x (gather latency terms), far below the
+        64x a naive direct send pays."""
+        image = 4 * MB
+        t64 = binary_swap_time(self.net, 64, image)
+        t4096 = binary_swap_time(self.net, 4096, image)
+        assert t4096 < 10 * t64
+        assert (direct_send_time(self.net, 4096, image)
+                / direct_send_time(self.net, 64, image)) > 50
+
+    def test_single_rank_free(self):
+        assert binary_swap_time(self.net, 1, MB) == 0.0
+        assert direct_send_time(self.net, 1, MB) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binary_swap_time(self.net, 0, MB)
+        with pytest.raises(ValueError):
+            binary_swap_time(self.net, 4, -1)

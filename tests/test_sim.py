@@ -1,0 +1,425 @@
+"""Tests for the S3D proxy: grid, fields, stencils, chemistry, solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import (
+    ArrheniusChemistry,
+    DecomposedS3D,
+    FieldSet,
+    LiftedFlameCase,
+    S3DProxy,
+    SPECIES_NAMES,
+    StructuredGrid3D,
+    VARIABLE_NAMES,
+    synthetic_turbulence,
+)
+from repro.sim.s3d import SolverParams
+from repro.sim.stencil import (
+    crop_ghosts,
+    gradient,
+    halo_exchange_bytes,
+    laplacian,
+    pad_with_ghosts,
+    upwind_advection,
+    vorticity_magnitude,
+)
+from repro.vmpi import BlockDecomposition3D
+
+
+class TestGrid:
+    def test_spacing(self):
+        g = StructuredGrid3D((10, 20, 40), (1.0, 2.0, 4.0))
+        assert g.spacing == (0.1, 0.1, 0.1)
+
+    def test_n_cells(self):
+        assert StructuredGrid3D((4, 5, 6)).n_cells == 120
+
+    def test_axes_cell_centered(self):
+        g = StructuredGrid3D((4, 4, 4), (1.0, 1.0, 1.0))
+        x, _, _ = g.axes()
+        np.testing.assert_allclose(x, [0.125, 0.375, 0.625, 0.875])
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            StructuredGrid3D((1, 4, 4))
+        with pytest.raises(ValueError):
+            StructuredGrid3D((4, 4, 4), (0.0, 1.0, 1.0))
+
+    def test_cfl_dt_positive_and_stable(self):
+        g = StructuredGrid3D((16, 16, 16))
+        dt = g.cfl_dt(max_speed=2.0, diffusivity=1e-3)
+        h = min(g.spacing)
+        assert 0 < dt <= 0.4 * h / 2.0
+
+    def test_cfl_requires_some_physics(self):
+        g = StructuredGrid3D((8, 8, 8))
+        with pytest.raises(ValueError):
+            g.cfl_dt(0.0, 0.0)
+        with pytest.raises(ValueError):
+            g.cfl_dt(-1.0, 0.0)
+
+
+class TestFieldSet:
+    def setup_method(self):
+        self.grid = StructuredGrid3D((4, 5, 6))
+
+    def test_fourteen_variables(self):
+        """Table I: 14 variables."""
+        assert len(VARIABLE_NAMES) == 14
+        fs = FieldSet(self.grid)
+        assert len(fs) == 14
+
+    def test_nbytes_matches_table1_scaling(self):
+        fs = FieldSet(self.grid)
+        assert fs.nbytes == 14 * 4 * 5 * 6 * 8
+
+    def test_setitem_validates_shape(self):
+        fs = FieldSet(self.grid)
+        with pytest.raises(ValueError):
+            fs["T"] = np.zeros((2, 2, 2))
+
+    def test_unknown_field_raises_with_list(self):
+        fs = FieldSet(self.grid)
+        with pytest.raises(KeyError, match="available"):
+            fs["vorticity"]
+
+    def test_new_field_appends(self):
+        fs = FieldSet(self.grid)
+        fs["extra"] = np.ones(self.grid.shape)
+        assert "extra" in fs
+        assert fs.names[-1] == "extra"
+
+    def test_array_roundtrip(self):
+        fs = FieldSet(self.grid)
+        fs["T"] = np.random.default_rng(0).random(self.grid.shape)
+        arr = fs.as_array()
+        fs2 = FieldSet.from_array(self.grid, arr)
+        np.testing.assert_array_equal(fs2["T"], fs["T"])
+
+    def test_copy_is_deep(self):
+        fs = FieldSet(self.grid)
+        fs2 = fs.copy()
+        fs2["T"][0, 0, 0] = 99.0
+        assert fs["T"][0, 0, 0] == 0.0
+
+    def test_species_view(self):
+        fs = FieldSet(self.grid)
+        assert set(fs.species()) == set(SPECIES_NAMES)
+
+
+class TestStencils:
+    def setup_method(self):
+        self.grid = StructuredGrid3D((16, 16, 16), (2 * np.pi,) * 3)
+        self.X, self.Y, self.Z = self.grid.meshgrid()
+
+    def test_gradient_of_sin_is_cos(self):
+        f = np.sin(self.X)
+        gx, gy, gz = gradient(f, self.grid.spacing)
+        np.testing.assert_allclose(gx, np.cos(self.X), atol=0.03)
+        np.testing.assert_allclose(gy, 0.0, atol=1e-12)
+        np.testing.assert_allclose(gz, 0.0, atol=1e-12)
+
+    def test_laplacian_of_sin(self):
+        f = np.sin(self.X)
+        lap = laplacian(f, self.grid.spacing)
+        np.testing.assert_allclose(lap, -np.sin(self.X), atol=0.05)
+
+    def test_laplacian_of_constant_is_zero(self):
+        f = np.full(self.grid.shape, 3.7)
+        np.testing.assert_allclose(laplacian(f, self.grid.spacing), 0.0, atol=1e-12)
+
+    def test_upwind_constant_advection(self):
+        """Advecting a constant field changes nothing."""
+        f = np.full(self.grid.shape, 2.0)
+        vel = tuple(np.ones(self.grid.shape) for _ in range(3))
+        np.testing.assert_allclose(
+            upwind_advection(f, vel, self.grid.spacing), 0.0, atol=1e-12)
+
+    def test_upwind_sign_convention(self):
+        """For u>0 and df/dx>0, -u df/dx < 0."""
+        f = self.X.copy()
+        vel = (np.ones(self.grid.shape), np.zeros(self.grid.shape),
+               np.zeros(self.grid.shape))
+        adv = upwind_advection(f, vel, self.grid.spacing)
+        # interior away from the periodic seam
+        assert np.all(adv[2:-2] < 0)
+
+    def test_vorticity_of_rigid_rotation(self):
+        """u = (-y, x, 0) has |curl| = 2 everywhere."""
+        u = -(self.Y - np.pi)
+        v = self.X - np.pi
+        w = np.zeros(self.grid.shape)
+        vort = vorticity_magnitude((u, v, w), self.grid.spacing)
+        interior = vort[3:-3, 3:-3, :]
+        np.testing.assert_allclose(interior, 2.0, atol=0.05)
+
+
+class TestGhostExchange:
+    def test_pad_matches_periodic_neighbors(self):
+        decomp = BlockDecomposition3D((8, 8, 8), (2, 2, 2))
+        field = np.random.default_rng(1).random((8, 8, 8))
+        parts = decomp.scatter(field)
+        padded = pad_with_ghosts(parts, decomp, width=1)
+        padded_global = np.pad(field, 1, mode="wrap")
+        for b, p in zip(decomp.blocks(), padded):
+            sl = tuple(slice(lo, hi + 2) for lo, hi in zip(b.lo, b.hi))
+            np.testing.assert_array_equal(p, padded_global[sl])
+
+    def test_crop_inverts_pad(self):
+        decomp = BlockDecomposition3D((6, 6, 6), (2, 1, 3))
+        field = np.random.default_rng(2).random((6, 6, 6))
+        parts = decomp.scatter(field)
+        padded = pad_with_ghosts(parts, decomp)
+        for part, p in zip(parts, padded):
+            np.testing.assert_array_equal(crop_ghosts(p), part)
+
+    def test_stencil_on_ghosted_blocks_matches_global(self):
+        """The decomposed-solver invariant: block stencils == global stencil."""
+        decomp = BlockDecomposition3D((12, 8, 10), (3, 2, 2))
+        spacing = (0.1, 0.2, 0.3)
+        field = np.random.default_rng(3).random((12, 8, 10))
+        global_lap = laplacian(field, spacing)
+        parts = decomp.scatter(field)
+        padded = pad_with_ghosts(parts, decomp)
+        for b, p in zip(decomp.blocks(), padded):
+            local = crop_ghosts(laplacian(p, spacing))
+            np.testing.assert_array_equal(local, global_lap[b.slices])
+
+    def test_invalid_width(self):
+        decomp = BlockDecomposition3D((4, 4, 4), (2, 2, 2))
+        parts = decomp.scatter(np.zeros((4, 4, 4)))
+        with pytest.raises(ValueError):
+            pad_with_ghosts(parts, decomp, width=0)
+
+    def test_halo_bytes(self):
+        decomp = BlockDecomposition3D((8, 8, 8), (2, 2, 2))
+        # 4x4x4 blocks: 6 faces of 16 cells = 96 cells * 8 B
+        assert halo_exchange_bytes(decomp) == 96 * 8
+
+
+class TestChemistry:
+    def test_rate_zero_without_fuel(self):
+        chem = ArrheniusChemistry()
+        T = np.full((2, 2, 2), 2.0)
+        zero = np.zeros((2, 2, 2))
+        np.testing.assert_array_equal(chem.reaction_rate(T, zero, np.ones_like(T)), 0.0)
+
+    def test_rate_increases_with_temperature(self):
+        chem = ArrheniusChemistry()
+        y = np.full((1, 1, 1), 0.2)
+        r_cold = chem.reaction_rate(np.full((1, 1, 1), 0.5), y, y)
+        r_hot = chem.reaction_rate(np.full((1, 1, 1), 3.0), y, y)
+        assert r_hot > r_cold
+
+    def test_source_terms_mass_stoichiometry(self):
+        """H2 and O2 are consumed 1:8 by mass."""
+        chem = ArrheniusChemistry()
+        T = np.full((1, 1, 1), 2.0)
+        Y = {s: np.full((1, 1, 1), 0.1) for s in SPECIES_NAMES}
+        _dT, dY = chem.source_terms(T, Y)
+        assert dY["H2"][0, 0, 0] < 0
+        assert dY["O2"][0, 0, 0] == pytest.approx(8 * dY["H2"][0, 0, 0])
+        assert dY["H2O"][0, 0, 0] > 0
+        np.testing.assert_array_equal(dY["N2"], 0.0)
+
+    def test_heat_release_positive(self):
+        chem = ArrheniusChemistry()
+        T = np.full((1, 1, 1), 2.0)
+        Y = {s: np.full((1, 1, 1), 0.1) for s in SPECIES_NAMES}
+        dT, _ = chem.source_terms(T, Y)
+        assert dT[0, 0, 0] > 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ArrheniusChemistry(pre_exponential=-1.0)
+
+
+class TestTurbulence:
+    def test_divergence_free(self):
+        grid = StructuredGrid3D((24, 24, 24), (2 * np.pi,) * 3)
+        u, v, w = synthetic_turbulence(grid, seed=4)
+        gx, _, _ = gradient(u, grid.spacing)
+        _, gy, _ = gradient(v, grid.spacing)
+        _, _, gz = gradient(w, grid.spacing)
+        div = gx + gy + gz
+        # Discrete central-difference divergence of an exactly periodic,
+        # analytically solenoidal field is small relative to the velocity.
+        assert np.max(np.abs(div)) < 0.25 * np.max(np.abs(u))
+
+    def test_rms_normalisation(self):
+        grid = StructuredGrid3D((16, 16, 16))
+        u, v, w = synthetic_turbulence(grid, rms_velocity=0.5, seed=5)
+        rms = np.sqrt(np.mean(u * u + v * v + w * w))
+        assert rms == pytest.approx(0.5, rel=1e-9)
+
+    def test_deterministic(self):
+        grid = StructuredGrid3D((8, 8, 8))
+        u1, _, _ = synthetic_turbulence(grid, seed=6)
+        u2, _, _ = synthetic_turbulence(grid, seed=6)
+        np.testing.assert_array_equal(u1, u2)
+
+    def test_zero_rms(self):
+        grid = StructuredGrid3D((8, 8, 8))
+        u, v, w = synthetic_turbulence(grid, rms_velocity=0.0, seed=1)
+        assert np.all(u == 0) and np.all(v == 0) and np.all(w == 0)
+
+    def test_invalid_args(self):
+        grid = StructuredGrid3D((8, 8, 8))
+        with pytest.raises(ValueError):
+            synthetic_turbulence(grid, n_modes=0)
+        with pytest.raises(ValueError):
+            synthetic_turbulence(grid, rms_velocity=-1.0)
+
+
+class TestLiftedFlame:
+    def setup_method(self):
+        self.grid = StructuredGrid3D((24, 16, 16), (3.0, 2.0, 2.0))
+        self.case = LiftedFlameCase(self.grid)
+
+    def test_initial_fields_complete(self):
+        fs = self.case.initial_fields()
+        assert set(VARIABLE_NAMES) <= set(fs.names)
+
+    def test_jet_is_cold_and_fueled(self):
+        fs = self.case.initial_fields()
+        center = fs["T"][:, 8, 8]
+        edge = fs["T"][:, 0, 0]
+        assert center.mean() < edge.mean()
+        assert fs["H2"][:, 8, 8].mean() > fs["H2"][:, 0, 0].mean()
+
+    def test_mass_fractions_sum_to_one(self):
+        fs = self.case.initial_fields()
+        total = sum(fs[s] for s in SPECIES_NAMES)
+        np.testing.assert_allclose(total, 1.0, atol=1e-12)
+
+    def test_flammable_mask_in_mixing_layer(self):
+        fs = self.case.initial_fields()
+        mask = self.case.flammable_mask(fs)
+        assert mask.any()
+        assert not mask.all()
+
+    def test_kernels_only_in_flammable_region(self):
+        fs = self.case.initial_fields()
+        mask = self.case.flammable_mask(fs)
+        case = LiftedFlameCase(self.grid, kernel_rate=5.0, seed=11)
+        centers = []
+        for step in range(5):
+            centers += case.seed_kernels(fs, step)
+        assert centers, "expected at least one kernel over 5 steps at rate 5"
+        for c in centers:
+            assert mask[c]
+
+    def test_kernel_raises_temperature(self):
+        fs = self.case.initial_fields()
+        t_before = fs["T"].max()
+        case = LiftedFlameCase(self.grid, kernel_rate=20.0, seed=3)
+        seeded = case.seed_kernels(fs, 0)
+        if seeded:
+            assert fs["T"].max() > t_before
+
+    def test_deterministic_kernel_sequence(self):
+        a = LiftedFlameCase(self.grid, kernel_rate=3.0, seed=9)
+        b = LiftedFlameCase(self.grid, kernel_rate=3.0, seed=9)
+        fa, fb = a.initial_fields(), b.initial_fields()
+        assert a.seed_kernels(fa, 0) == b.seed_kernels(fb, 0)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            LiftedFlameCase(self.grid, jet_radius_fraction=0.9)
+        with pytest.raises(ValueError):
+            LiftedFlameCase(self.grid, kernel_rate=-1.0)
+
+
+class TestS3DProxy:
+    def _solver(self, shape=(16, 12, 12), **kw):
+        grid = StructuredGrid3D(shape, (2.0, 1.5, 1.5))
+        case = LiftedFlameCase(grid, seed=13, **kw)
+        return S3DProxy(case)
+
+    def test_step_advances_counter_and_state(self):
+        s = self._solver()
+        t0 = s.fields["T"].copy()
+        s.step(3)
+        assert s.step_count == 3
+        assert not np.array_equal(s.fields["T"], t0)
+
+    def test_species_stay_physical(self):
+        s = self._solver(kernel_rate=2.0)
+        s.step(10)
+        for sp in SPECIES_NAMES:
+            arr = s.fields[sp]
+            assert arr.min() >= 0.0 and arr.max() <= 1.0
+
+    def test_temperature_bounded_below(self):
+        s = self._solver()
+        s.step(10)
+        assert s.fields["T"].min() >= 1e-3
+
+    def test_no_kernels_when_disabled(self):
+        grid = StructuredGrid3D((12, 12, 12))
+        case = LiftedFlameCase(grid, kernel_rate=50.0, seed=1)
+        s = S3DProxy(case, seed_kernels=False)
+        s.step(3)
+        assert s.kernel_history == []
+
+    def test_reaction_consumes_fuel_globally(self):
+        s = self._solver(kernel_rate=5.0, kernel_amplitude=3.0)
+        fuel0 = s.fields["H2"].sum()
+        s.step(15)
+        assert s.fields["H2"].sum() < fuel0
+
+    def test_op_descriptor(self):
+        s = self._solver()
+        d = s.op_descriptor()
+        assert d.op == "s3d.step"
+        assert d.n_elements == s.grid.n_cells
+
+    def test_invalid_step_count(self):
+        with pytest.raises(ValueError):
+            self._solver().step(0)
+
+    def test_explicit_dt_respected(self):
+        grid = StructuredGrid3D((8, 8, 8))
+        case = LiftedFlameCase(grid)
+        s = S3DProxy(case, params=SolverParams(dt=1e-4))
+        assert s.dt == 1e-4
+        with pytest.raises(ValueError):
+            S3DProxy(case, params=SolverParams(dt=-1.0))
+
+
+class TestDecomposedMatchesGlobal:
+    """The headline solver invariant: block-parallel == global, bitwise."""
+
+    @pytest.mark.parametrize("grid_shape,proc_grid", [
+        ((12, 8, 8), (2, 2, 2)),
+        ((12, 8, 8), (3, 1, 2)),
+        ((9, 7, 5), (2, 2, 1)),  # uneven split
+    ])
+    def test_bitwise_equal_after_steps(self, grid_shape, proc_grid):
+        grid = StructuredGrid3D(grid_shape, (1.5, 1.0, 1.0))
+        case_a = LiftedFlameCase(grid, seed=21, kernel_rate=1.0)
+        case_b = LiftedFlameCase(grid, seed=21, kernel_rate=1.0)
+        global_solver = S3DProxy(case_a)
+        decomp = BlockDecomposition3D(grid_shape, proc_grid)
+        block_solver = DecomposedS3D(case_b, decomp)
+        global_solver.step(4)
+        block_solver.step(4)
+        assembled = block_solver.assemble()
+        for name in VARIABLE_NAMES:
+            np.testing.assert_array_equal(
+                assembled[name], global_solver.fields[name],
+                err_msg=f"variable {name} diverged")
+
+    def test_mismatched_decomp_raises(self):
+        grid = StructuredGrid3D((8, 8, 8))
+        case = LiftedFlameCase(grid)
+        with pytest.raises(ValueError):
+            DecomposedS3D(case, BlockDecomposition3D((6, 6, 6), (2, 1, 1)))
+
+    def test_rank_descriptor(self):
+        grid = StructuredGrid3D((8, 8, 8))
+        case = LiftedFlameCase(grid)
+        d = DecomposedS3D(case, BlockDecomposition3D((8, 8, 8), (2, 2, 2)))
+        assert d.rank_op_descriptor(0).n_elements == 64

@@ -1,0 +1,285 @@
+"""Tests for the DataSpaces-like staging layer: hashing, scheduler, space, buckets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.costmodel import CostModel
+from repro.des import Engine
+from repro.staging import DataSpaces, ServiceRing, StagingBucket, TaskDescriptor
+from repro.transport import DartTransport
+
+
+class TestServiceRing:
+    def test_stable_assignment(self):
+        ring = ServiceRing(8)
+        assert ring.server_for("task-42") == ring.server_for("task-42")
+
+    def test_all_servers_in_range(self):
+        ring = ServiceRing(5)
+        for i in range(200):
+            assert 0 <= ring.server_for(f"key-{i}") < 5
+
+    def test_load_roughly_balanced(self):
+        """The paper credits hashing with balancing RPCs over servers."""
+        ring = ServiceRing(8, virtual_nodes=128)
+        keys = [f"task-{i}" for i in range(8000)]
+        hist = ring.load_histogram(keys)
+        assert min(hist) > 0
+        assert max(hist) / (len(keys) / 8) < 2.0  # no server sees 2x mean
+
+    def test_single_server(self):
+        ring = ServiceRing(1)
+        assert ring.server_for("anything") == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ServiceRing(0)
+        with pytest.raises(ValueError):
+            ServiceRing(2, virtual_nodes=0)
+
+    @given(st.integers(2, 16))
+    @settings(max_examples=10, deadline=None)
+    def test_property_consistent_across_instances(self, n):
+        a, b = ServiceRing(n), ServiceRing(n)
+        for i in range(50):
+            assert a.server_for(f"k{i}") == b.server_for(f"k{i}")
+
+
+def _make_task(task_id="t0", **kw):
+    return TaskDescriptor(task_id=task_id, analysis="test", timestep=0,
+                          data=[], **kw)
+
+
+class TestScheduler:
+    def test_bucket_first_then_data(self):
+        eng = Engine()
+        from repro.staging.scheduler import TaskScheduler
+        sched = TaskScheduler(eng)
+        got = []
+
+        def bucket():
+            task = yield sched.bucket_ready("b0")
+            got.append((eng.now, task.task_id))
+
+        eng.process(bucket())
+        eng.run()
+        assert sched.idle_buckets == 1
+        sched.data_ready(_make_task("t-late"))
+        eng.run()
+        assert got == [(0.0, "t-late")]
+
+    def test_data_first_then_bucket(self):
+        eng = Engine()
+        from repro.staging.scheduler import TaskScheduler
+        sched = TaskScheduler(eng)
+        sched.data_ready(_make_task("t0"))
+        assert sched.pending_tasks == 1
+        got = []
+
+        def bucket():
+            task = yield sched.bucket_ready("b0")
+            got.append(task.task_id)
+
+        eng.process(bucket())
+        eng.run()
+        assert got == ["t0"]
+        assert sched.pending_tasks == 0
+
+    def test_fcfs_order(self):
+        """Tasks are handed out in data-ready order; buckets in ready order."""
+        eng = Engine()
+        from repro.staging.scheduler import TaskScheduler
+        sched = TaskScheduler(eng)
+        for i in range(3):
+            sched.data_ready(_make_task(f"t{i}"))
+        got = []
+
+        def bucket(name):
+            task = yield sched.bucket_ready(name)
+            got.append((name, task.task_id))
+
+        for name in ("b0", "b1", "b2"):
+            eng.process(bucket(name))
+        eng.run()
+        assert got == [("b0", "t0"), ("b1", "t1"), ("b2", "t2")]
+
+    def test_assignment_records(self):
+        eng = Engine()
+        from repro.staging.scheduler import TaskScheduler
+        sched = TaskScheduler(eng)
+        sched.data_ready(_make_task("t0"))
+
+        def bucket():
+            yield sched.bucket_ready("b0")
+
+        eng.process(bucket())
+        eng.run()
+        assert len(sched.assignments) == 1
+        rec = sched.assignments[0]
+        assert rec.task_id == "t0" and rec.bucket == "b0"
+        assert rec.assign_time >= rec.data_ready_time
+
+    def test_queue_trace_records_depth(self):
+        eng = Engine()
+        from repro.staging.scheduler import TaskScheduler
+        sched = TaskScheduler(eng)
+        for i in range(4):
+            sched.data_ready(_make_task(f"t{i}"))
+        assert sched.max_queue_depth() == 4
+
+
+class TestDataSpacesTupleSpace:
+    def setup_method(self):
+        self.eng = Engine()
+        self.ds = DataSpaces(self.eng, DartTransport(self.eng), n_servers=4)
+
+    def test_plain_put_get(self):
+        self.ds.put("model", 3, {"mean": 1.0})
+        assert self.ds.get("model", 3) == {"mean": 1.0}
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            self.ds.get("nope", 0)
+
+    def test_geometric_put_get_roundtrip(self):
+        data = np.arange(24, dtype=np.float64).reshape(4, 6)
+        self.ds.put("field", 0, data, bounds=((10, 14), (0, 6)))
+        out = self.ds.get("field", 0, bounds=((10, 14), (0, 6)))
+        np.testing.assert_array_equal(out, data)
+
+    def test_geometric_subbox(self):
+        data = np.arange(24, dtype=np.float64).reshape(4, 6)
+        self.ds.put("field", 0, data, bounds=((0, 4), (0, 6)))
+        out = self.ds.get("field", 0, bounds=((1, 3), (2, 5)))
+        np.testing.assert_array_equal(out, data[1:3, 2:5])
+
+    def test_assemble_from_multiple_puts(self):
+        """A get spanning two ranks' puts assembles both pieces."""
+        left = np.ones((4, 3))
+        right = 2 * np.ones((4, 3))
+        self.ds.put("f", 0, left, bounds=((0, 4), (0, 3)))
+        self.ds.put("f", 0, right, bounds=((0, 4), (3, 6)))
+        out = self.ds.get("f", 0, bounds=((0, 4), (0, 6)))
+        np.testing.assert_array_equal(out[:, :3], left)
+        np.testing.assert_array_equal(out[:, 3:], right)
+
+    def test_uncovered_get_raises(self):
+        self.ds.put("f", 0, np.ones((2, 2)), bounds=((0, 2), (0, 2)))
+        with pytest.raises(KeyError, match="not fully covered"):
+            self.ds.get("f", 0, bounds=((0, 4), (0, 4)))
+
+    def test_bounds_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            self.ds.put("f", 0, np.ones((2, 2)), bounds=((0, 3), (0, 2)))
+
+    def test_versions_listing(self):
+        for v in (3, 1, 2):
+            self.ds.put("x", v, v)
+        assert self.ds.versions("x") == [1, 2, 3]
+
+    def test_rpcs_spread_over_servers(self):
+        for i in range(400):
+            self.ds.put(f"var-{i}", 0, i)
+        assert sum(self.ds.server_rpc_counts) >= 400
+        assert min(self.ds.server_rpc_counts) > 0
+
+
+class TestEndToEndStaging:
+    """In-situ submit -> data-ready -> bucket pull -> in-transit compute."""
+
+    def _setup(self, n_buckets=2, cost_model=None):
+        eng = Engine()
+        transport = DartTransport(eng)
+        ds = DataSpaces(eng, transport, n_servers=2, cost_model=cost_model)
+        ds.spawn_buckets([f"staging-{i}" for i in range(n_buckets)])
+        return eng, transport, ds
+
+    def test_single_task_executes_compute(self):
+        eng, _tr, ds = self._setup()
+        payload = np.arange(10, dtype=np.float64)
+        ds.submit_insitu_result("stats", 0, "sim-0", payload,
+                                compute=lambda ps: float(np.sum(ps[0])))
+        ds.shutdown_buckets()
+        eng.run()
+        results = ds.all_results()
+        assert len(results) == 1
+        assert results[0].value == 45.0
+        assert results[0].analysis == "stats"
+        assert results[0].total_latency > 0
+
+    def test_tasks_spread_across_buckets(self):
+        eng, _tr, ds = self._setup(n_buckets=4)
+        for ts in range(8):
+            ds.submit_insitu_result("viz", ts, f"sim-{ts % 2}",
+                                    np.zeros(1000), compute=lambda ps: len(ps))
+        ds.shutdown_buckets()
+        eng.run()
+        results = ds.all_results()
+        assert len(results) == 8
+        assert len({r.bucket for r in results}) > 1
+
+    def test_cost_model_charges_compute_time(self):
+        model = CostModel("test", {"slow.op": 1.0})  # 1 s per element
+        eng, _tr, ds = self._setup(n_buckets=1, cost_model=model)
+        ds.submit_insitu_result("topo", 0, "sim-0", b"x",
+                                cost_op="slow.op", cost_elements=5)
+        ds.shutdown_buckets()
+        eng.run()
+        r = ds.all_results()[0]
+        assert r.compute_duration == pytest.approx(5.0, rel=0.01)
+
+    def test_cost_op_without_model_raises(self):
+        eng, _tr, ds = self._setup(n_buckets=1, cost_model=None)
+        ds.submit_insitu_result("topo", 0, "sim-0", b"x",
+                                cost_op="slow.op", cost_elements=5)
+        with pytest.raises(RuntimeError, match="no cost model"):
+            eng.run()
+
+    def test_grouped_task_pulls_all_regions(self):
+        eng, tr, ds = self._setup(n_buckets=1)
+        descs = [tr.register(f"sim-{i}", np.full(4, float(i))) for i in range(3)]
+        ds.submit_grouped_result("topo", 0, descs,
+                                 compute=lambda ps: sum(float(p[0]) for p in ps))
+        ds.shutdown_buckets()
+        eng.run()
+        r = ds.all_results()[0]
+        assert r.value == 0.0 + 1.0 + 2.0
+        assert r.bytes_pulled == 3 * 32
+
+    def test_pipelining_across_timesteps(self):
+        """With 2 buckets, two timesteps' tasks overlap: the second task does
+        not wait for the first to finish (temporal multiplexing, §V)."""
+        model = CostModel("test", {"glue": 10.0})
+        eng, _tr, ds = self._setup(n_buckets=2, cost_model=model)
+        for ts in range(2):
+            ds.submit_insitu_result("topo", ts, "sim-0", b"x",
+                                    cost_op="glue", cost_elements=1)
+        ds.shutdown_buckets()
+        eng.run()
+        results = ds.all_results()
+        assert len(results) == 2
+        starts = sorted(r.assign_time for r in results)
+        # both assigned near t=0, far less than the 10 s compute time apart
+        assert starts[1] - starts[0] < 1.0
+
+    def test_serial_bucket_queues_tasks(self):
+        """With 1 bucket, the second task waits for the first (no overlap)."""
+        model = CostModel("test", {"glue": 10.0})
+        eng, _tr, ds = self._setup(n_buckets=1, cost_model=model)
+        for ts in range(2):
+            ds.submit_insitu_result("topo", ts, "sim-0", b"x",
+                                    cost_op="glue", cost_elements=1)
+        ds.shutdown_buckets()
+        eng.run()
+        r0, r1 = ds.all_results()
+        assert r1.assign_time >= r0.finish_time
+
+    def test_shutdown_sentinel_is_not_a_result(self):
+        eng, _tr, ds = self._setup(n_buckets=3)
+        ds.shutdown_buckets()
+        eng.run()
+        assert ds.all_results() == []
+
+    def test_bucket_shutdown_constant_is_frozen_identity(self):
+        assert StagingBucket.SHUTDOWN.task_id == "__shutdown__"

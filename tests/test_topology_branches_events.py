@@ -1,0 +1,175 @@
+"""Tests for branch decomposition, persistence diagrams, and event detection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.topology import (
+    Branch,
+    EventKind,
+    branch_decomposition,
+    compute_merge_tree,
+    detect_events,
+    diagram_distance,
+    event_counts,
+    persistence_diagram,
+    segment_superlevel,
+)
+
+
+def _blob(shape, center, width=2.0, amp=1.0):
+    coords = np.stack(np.mgrid[[slice(0, s) for s in shape]]).astype(float)
+    d2 = sum((coords[a] - center[a]) ** 2 for a in range(3))
+    return amp * np.exp(-d2 / (2 * width * width))
+
+
+class TestBranchDecomposition:
+    def test_two_peak_1d(self):
+        f = np.array([5.0, 2.0, 1.0, 2.0, 4.0])
+        tree, _ = compute_merge_tree(f)
+        branches = branch_decomposition(tree)
+        assert len(branches) == 2
+        main, minor = branches
+        assert main.maximum == 0 and main.death == float("-inf")
+        assert minor.maximum == 4 and minor.saddle == 2
+        assert minor.persistence == pytest.approx(3.0)
+
+    def test_branches_partition_tree_nodes(self):
+        f = np.random.default_rng(60).random((6, 6, 5))
+        tree, _ = compute_merge_tree(f)
+        branches = branch_decomposition(tree)
+        all_nodes = [n for b in branches for n in b.nodes]
+        assert len(all_nodes) == len(set(all_nodes))
+        assert set(all_nodes) == set(tree.reduced().value)
+
+    def test_sorted_by_persistence(self):
+        f = np.random.default_rng(61).random((7, 6, 4))
+        tree, _ = compute_merge_tree(f)
+        pers = [b.persistence for b in branch_decomposition(tree)]
+        assert pers == sorted(pers, reverse=True)
+
+    def test_one_branch_per_maximum(self):
+        f = np.random.default_rng(62).random((5, 5, 5))
+        tree, _ = compute_merge_tree(f)
+        branches = branch_decomposition(tree)
+        assert sorted(b.maximum for b in branches) == tree.reduced().leaves()
+
+    def test_branch_nodes_start_at_maximum(self):
+        f = np.random.default_rng(63).random((5, 5, 4))
+        tree, _ = compute_merge_tree(f)
+        for b in branch_decomposition(tree):
+            assert b.nodes[0] == b.maximum
+
+
+class TestPersistenceDiagram:
+    def test_shape_and_infinite_point(self):
+        f = np.array([5.0, 2.0, 1.0, 2.0, 4.0])
+        tree, _ = compute_merge_tree(f)
+        d = persistence_diagram(tree)
+        assert d.shape == (2, 2)
+        assert np.isneginf(d[:, 0]).sum() == 1
+
+    def test_finite_only_drops_everlasting(self):
+        f = np.array([5.0, 2.0, 1.0, 2.0, 4.0])
+        tree, _ = compute_merge_tree(f)
+        d = persistence_diagram(tree, finite_only=True)
+        assert d.shape == (1, 2)
+        assert d[0, 0] == 1.0 and d[0, 1] == 4.0
+
+    def test_birth_above_death(self):
+        f = np.random.default_rng(64).random((6, 5, 5))
+        tree, _ = compute_merge_tree(f)
+        d = persistence_diagram(tree, finite_only=True)
+        assert np.all(d[:, 1] >= d[:, 0])
+
+    def test_distance_zero_for_identical(self):
+        f = np.random.default_rng(65).random((5, 5, 5))
+        tree, _ = compute_merge_tree(f)
+        d = persistence_diagram(tree, finite_only=True)
+        assert diagram_distance(d, d) == 0.0
+
+    def test_distance_detects_topology_change(self):
+        shape = (16, 12, 8)
+        one = _blob(shape, (5, 6, 4))
+        two = one + _blob(shape, (12, 6, 4), amp=0.8)
+        t1, _ = compute_merge_tree(one)
+        t2, _ = compute_merge_tree(two)
+        d1 = persistence_diagram(t1, finite_only=True)
+        d2 = persistence_diagram(t2, finite_only=True)
+        assert diagram_distance(d1, d2) > 0.3
+
+    def test_distance_requires_finite(self):
+        f = np.array([2.0, 1.0, 1.5])
+        tree, _ = compute_merge_tree(f)
+        d = persistence_diagram(tree)  # includes -inf
+        with pytest.raises(ValueError):
+            diagram_distance(d, d)
+
+    def test_distance_empty_diagrams(self):
+        assert diagram_distance(np.empty((0, 2)), np.empty((0, 2))) == 0.0
+
+
+class TestEventDetection:
+    def _seg(self, *centers, shape=(24, 12, 8), tau=0.3):
+        f = sum((_blob(shape, c) for c in centers), np.zeros(shape))
+        return segment_superlevel(f, tau)
+
+    def test_continuation(self):
+        a = self._seg((6, 6, 4))
+        b = self._seg((7, 6, 4))
+        events = detect_events(a, b)
+        kinds = event_counts(events)
+        assert kinds[EventKind.CONTINUATION] == 1
+        assert sum(kinds.values()) == 1
+
+    def test_birth_and_death(self):
+        a = self._seg((4, 6, 4))
+        b = self._seg((18, 6, 4))  # far away: no overlap
+        events = detect_events(a, b)
+        kinds = event_counts(events)
+        assert kinds[EventKind.DEATH] == 1
+        assert kinds[EventKind.BIRTH] == 1
+
+    def test_merge(self):
+        # two features at t ...
+        a = self._seg((6, 6, 4), (17, 6, 4))
+        assert a.n_features == 2
+        # ... one bridging feature at t+1 overlapping both
+        shape = (24, 12, 8)
+        f = (_blob(shape, (6, 6, 4)) + _blob(shape, (17, 6, 4))
+             + _blob(shape, (11.5, 6, 4), width=3.0))
+        b = segment_superlevel(f, 0.3)
+        assert b.n_features == 1
+        events = detect_events(a, b)
+        merges = [e for e in events if e.kind is EventKind.MERGE]
+        assert len(merges) == 1
+        assert len(merges[0].parents) == 2
+        assert len(merges[0].children) == 1
+
+    def test_split(self):
+        shape = (24, 12, 8)
+        f = (_blob(shape, (6, 6, 4)) + _blob(shape, (17, 6, 4))
+             + _blob(shape, (11.5, 6, 4), width=3.0))
+        a = segment_superlevel(f, 0.3)          # one connected feature
+        b = self._seg((6, 6, 4), (17, 6, 4))    # two features
+        events = detect_events(a, b)
+        splits = [e for e in events if e.kind is EventKind.SPLIT]
+        assert len(splits) == 1
+        assert len(splits[0].children) == 2
+
+    def test_min_overlap_filters(self):
+        a = self._seg((6, 6, 4))
+        b = self._seg((6, 6, 4))
+        huge = detect_events(a, b, min_overlap_cells=10**9)
+        kinds = event_counts(huge)
+        assert kinds[EventKind.CONTINUATION] == 0
+        assert kinds[EventKind.BIRTH] == 1 and kinds[EventKind.DEATH] == 1
+
+    def test_validation(self):
+        a = self._seg((6, 6, 4))
+        with pytest.raises(ValueError):
+            detect_events(a, a, min_overlap_cells=0)
+
+    def test_empty_segmentations(self):
+        shape = (8, 8, 8)
+        empty = segment_superlevel(np.zeros(shape), 0.5)
+        assert detect_events(empty, empty) == []

@@ -1,0 +1,82 @@
+"""Unit tests for the in-situ / in-transit / post-processing trade-off model."""
+
+import pytest
+
+from repro.core import ExperimentConfig, ScaledExperiment, TradeoffModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TradeoffModel(ScaledExperiment(ExperimentConfig.paper_4896()))
+
+
+class TestPostProcessing:
+    def test_critical_path_is_amortised_write(self, model):
+        o1 = model.postprocessing(1, 100)
+        o10 = model.postprocessing(10, 100)
+        assert o1.critical_path_per_step == pytest.approx(
+            model.breakdown.io_write_time, rel=1e-9)
+        assert o10.critical_path_per_step == pytest.approx(
+            o1.critical_path_per_step / 10, rel=1e-9)
+
+    def test_insight_grows_with_run_length(self, model):
+        short = model.postprocessing(400, 100)
+        long = model.postprocessing(400, 10_000)
+        assert long.time_to_insight > short.time_to_insight
+
+    def test_storage_is_full_state(self, model):
+        o = model.postprocessing(400, 100)
+        assert o.storage_bytes == model.breakdown.data_bytes
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.postprocessing(0, 100)
+        with pytest.raises(ValueError):
+            model.postprocessing(10, 0)
+
+
+class TestConcurrent:
+    def test_critical_path_amortises_with_interval(self, model):
+        o1 = model.concurrent_hybrid(1)
+        o10 = model.concurrent_hybrid(10)
+        assert o10.critical_path_per_step == pytest.approx(
+            o1.critical_path_per_step / 10, rel=1e-9)
+        assert o10.time_to_insight == o1.time_to_insight
+
+    def test_insight_dominated_by_topology(self, model):
+        from repro.core import AnalyticsVariant
+        o = model.concurrent_hybrid(1)
+        topo = model.breakdown.analytics[AnalyticsVariant.TOPO_HYBRID.value]
+        assert o.time_to_insight == pytest.approx(
+            topo.movement_time + topo.intransit_time, rel=1e-9)
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.concurrent_hybrid(0)
+        with pytest.raises(ValueError):
+            model.fully_insitu(0)
+
+
+class TestSustainability:
+    def test_paper_allocation_sustains_stride_one(self, model):
+        assert model.sustainable(model.concurrent_hybrid(1))
+
+    def test_two_buckets_cannot_sustain_stride_one(self):
+        tight = TradeoffModel(ScaledExperiment(ExperimentConfig.paper_4896()),
+                              n_buckets=2)
+        assert not tight.sustainable(tight.concurrent_hybrid(1))
+
+    def test_non_concurrent_strategies_always_sustainable(self, model):
+        assert model.sustainable(model.postprocessing(400, 100))
+        assert model.sustainable(model.fully_insitu(1))
+
+
+class TestSlowdownPercent:
+    def test_fully_insitu_topology_blows_up(self, model):
+        assert model.fully_insitu(1).slowdown_percent > 300
+        assert model.fully_insitu(100).slowdown_percent < 10
+
+    def test_percentages_consistent(self, model):
+        o = model.concurrent_hybrid(1)
+        expected = 100 * o.critical_path_per_step / model.breakdown.simulation_time
+        assert o.slowdown_percent == pytest.approx(expected)

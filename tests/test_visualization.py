@@ -1,0 +1,303 @@
+"""Tests for the visualization analysis: camera, transfer function, serial
+renderer, in-situ block compositing, and the hybrid LUT renderer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.visualization import (
+    BlockLUT,
+    Camera,
+    TransferFunction,
+    downsample_block,
+    downsample_decomposed,
+    render_blocks_insitu,
+    render_intransit,
+    render_volume,
+)
+from repro.analysis.visualization.compositing import visibility_order
+from repro.analysis.visualization.volume_render import trilinear_sampler
+from repro.util import image_rmse
+from repro.vmpi import BlockDecomposition3D
+
+
+def _blob_field(shape=(16, 14, 12), seed=50):
+    rng = np.random.default_rng(seed)
+    coords = np.stack(np.mgrid[[slice(0, s) for s in shape]]).astype(float)
+    f = np.zeros(shape)
+    for _ in range(4):
+        c = [rng.uniform(2, s - 2) for s in shape]
+        d2 = sum((coords[a] - c[a]) ** 2 for a in range(3))
+        f += rng.uniform(0.5, 1.5) * np.exp(-d2 / rng.uniform(4, 12))
+    return f
+
+
+class TestCamera:
+    def test_basis_orthonormal(self):
+        cam = Camera(azimuth_deg=42.0, elevation_deg=17.0)
+        view, right, up = cam.basis()
+        for v in (view, right, up):
+            assert np.linalg.norm(v) == pytest.approx(1.0)
+        assert np.dot(view, right) == pytest.approx(0.0, abs=1e-12)
+        assert np.dot(view, up) == pytest.approx(0.0, abs=1e-12)
+        assert np.dot(right, up) == pytest.approx(0.0, abs=1e-12)
+
+    def test_straight_down_view_handled(self):
+        cam = Camera(azimuth_deg=0.0, elevation_deg=90.0)
+        view, right, up = cam.basis()
+        assert np.linalg.norm(right) == pytest.approx(1.0)
+
+    def test_rays_cover_volume(self):
+        cam = Camera(image_shape=(8, 10))
+        origins, direction, t_len = cam.rays((10, 10, 10))
+        assert origins.shape == (8, 10, 3)
+        assert np.linalg.norm(direction) == pytest.approx(1.0)
+        assert t_len > np.linalg.norm([10, 10, 10]) * 0.99
+
+    def test_zoom_shrinks_footprint(self):
+        wide = Camera(zoom=1.0, image_shape=(4, 4)).rays((10, 10, 10))[0]
+        tight = Camera(zoom=4.0, image_shape=(4, 4)).rays((10, 10, 10))[0]
+        assert (np.ptp(tight[..., 0])) < np.ptp(wide[..., 0])
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            Camera(image_shape=(0, 4))
+        with pytest.raises(ValueError):
+            Camera(zoom=0.0)
+
+
+class TestTransferFunction:
+    def test_interpolation_and_clamping(self):
+        tf = TransferFunction(((0.0, 0, 0, 0, 0.0), (1.0, 1, 1, 1, 0.5)))
+        rgba = tf(np.array([-1.0, 0.0, 0.5, 1.0, 2.0]))
+        np.testing.assert_allclose(rgba[0], [0, 0, 0, 0])
+        np.testing.assert_allclose(rgba[2], [0.5, 0.5, 0.5, 0.25])
+        np.testing.assert_allclose(rgba[4], [1, 1, 1, 0.5])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransferFunction(((0.0, 0, 0, 0, 0),))  # one point
+        with pytest.raises(ValueError):
+            TransferFunction(((1.0, 0, 0, 0, 0), (0.0, 0, 0, 0, 0)))  # unsorted
+        with pytest.raises(ValueError):
+            TransferFunction(((0.0, 2.0, 0, 0, 0), (1.0, 0, 0, 0, 0)))  # bad color
+
+    def test_hot_palette_shape(self):
+        tf = TransferFunction.hot(0.0, 1.0)
+        rgba = tf(np.array([0.0, 1.0]))
+        assert rgba[0, 3] == 0.0          # transparent at vmin
+        assert rgba[1, 3] > 0.0           # opaque-ish at vmax
+        assert rgba[1, 0] == 1.0          # hot end is bright
+
+    def test_hot_validation(self):
+        with pytest.raises(ValueError):
+            TransferFunction.hot(1.0, 0.0)
+
+
+class TestTrilinearSampler:
+    def test_exact_at_grid_points(self):
+        f = np.random.default_rng(51).random((4, 5, 6))
+        sample = trilinear_sampler(f)
+        pts = np.array([[0, 0, 0], [3, 4, 5], [1, 2, 3]], dtype=float)
+        np.testing.assert_allclose(sample(pts), [f[0, 0, 0], f[3, 4, 5], f[1, 2, 3]])
+
+    def test_linear_between_points(self):
+        f = np.zeros((2, 2, 2))
+        f[1, :, :] = 1.0
+        sample = trilinear_sampler(f)
+        np.testing.assert_allclose(sample(np.array([[0.25, 0.5, 0.5]])), [0.25])
+
+    def test_outside_returns_fill(self):
+        f = np.ones((3, 3, 3))
+        f[0, 0, 0] = -5.0  # the min
+        sample = trilinear_sampler(f)
+        np.testing.assert_allclose(sample(np.array([[-10.0, 0, 0]])), [-5.0])
+
+
+class TestSerialRenderer:
+    def test_empty_volume_is_background(self):
+        f = np.zeros((8, 8, 8))
+        tf = TransferFunction.hot(0.0, 1.0)
+        img = render_volume(f, Camera(image_shape=(8, 8)), tf, background=0.25)
+        np.testing.assert_allclose(img, 0.25)
+
+    def test_blob_renders_nonuniform(self):
+        f = _blob_field()
+        tf = TransferFunction.hot(0.0, float(f.max()))
+        img = render_volume(f, Camera(image_shape=(16, 16)), tf)
+        assert img.shape == (16, 16, 3)
+        assert img.max() > 0.05
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_bad_field_dim_raises(self):
+        with pytest.raises(ValueError):
+            render_volume(np.zeros((4, 4)), Camera(), TransferFunction.hot(0, 1))
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            render_volume(np.zeros((4, 4, 4)), Camera(),
+                          TransferFunction.hot(0, 1), step=0.0)
+
+    def test_deterministic(self):
+        f = _blob_field()
+        tf = TransferFunction.hot(0.0, 1.5)
+        cam = Camera(image_shape=(10, 10))
+        np.testing.assert_array_equal(render_volume(f, cam, tf),
+                                      render_volume(f, cam, tf))
+
+
+class TestInSituCompositing:
+    """The key invariant: block-parallel rendering == serial reference."""
+
+    @pytest.mark.parametrize("proc_grid", [(2, 1, 1), (2, 2, 1), (2, 2, 2)])
+    def test_matches_serial(self, proc_grid):
+        f = _blob_field()
+        decomp = BlockDecomposition3D(f.shape, proc_grid)
+        tf = TransferFunction.hot(float(f.min()), float(f.max()))
+        cam = Camera(image_shape=(12, 12), azimuth_deg=25, elevation_deg=15)
+        serial = render_volume(f, cam, tf)
+        composited = render_blocks_insitu(f, decomp, cam, tf)
+        assert image_rmse(serial, composited) < 1e-9
+
+    @given(st.integers(0, 1000),
+           st.floats(-80.0, 80.0), st.floats(-60.0, 60.0))
+    @settings(max_examples=10, deadline=None)
+    def test_property_matches_serial_any_view(self, seed, az, el):
+        f = _blob_field(shape=(10, 9, 8), seed=seed)
+        decomp = BlockDecomposition3D(f.shape, (2, 2, 1))
+        tf = TransferFunction.hot(float(f.min()), float(f.max()) + 1e-9)
+        cam = Camera(image_shape=(8, 8), azimuth_deg=az, elevation_deg=el)
+        assert image_rmse(render_volume(f, cam, tf),
+                          render_blocks_insitu(f, decomp, cam, tf)) < 1e-9
+
+    def test_visibility_order_is_permutation(self):
+        decomp = BlockDecomposition3D((8, 8, 8), (2, 2, 2))
+        order = visibility_order(decomp, np.array([0.3, -0.5, 0.8]))
+        assert sorted(order) == list(range(8))
+
+    def test_visibility_order_respects_axis_direction(self):
+        decomp = BlockDecomposition3D((8, 8, 8), (2, 1, 1))
+        front_first = visibility_order(decomp, np.array([1.0, 0.0, 0.0]))
+        assert front_first == [0, 1]
+        assert visibility_order(decomp, np.array([-1.0, 0.0, 0.0])) == [1, 0]
+
+    def test_shape_mismatch_raises(self):
+        decomp = BlockDecomposition3D((8, 8, 8), (2, 1, 1))
+        with pytest.raises(ValueError):
+            render_blocks_insitu(np.zeros((4, 4, 4)), decomp, Camera(),
+                                 TransferFunction.hot(0, 1))
+
+
+class TestDownsample:
+    def test_block_shape_ceil_division(self):
+        data = np.arange(7 * 5 * 4, dtype=float).reshape(7, 5, 4)
+        ds = downsample_block(data, (0, 0, 0), (7, 5, 4), stride=2)
+        assert ds.data.shape == (4, 3, 2)
+        np.testing.assert_array_equal(ds.data, data[::2, ::2, ::2])
+
+    def test_stride_one_is_identity(self):
+        data = np.random.default_rng(52).random((4, 4, 4))
+        ds = downsample_block(data, (0, 0, 0), (4, 4, 4), stride=1)
+        np.testing.assert_array_equal(ds.data, data)
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            downsample_block(np.zeros((4, 4, 4)), (0, 0, 0), (4, 4, 4), 0)
+
+    def test_data_reduction_factor(self):
+        """Stride 8 reduces the payload by ~8^3 = 512x (Fig. 2 / Table II)."""
+        f = np.zeros((32, 32, 32))
+        decomp = BlockDecomposition3D(f.shape, (2, 2, 2))
+        blocks = downsample_decomposed(f, decomp, stride=8)
+        moved = sum(b.nbytes for b in blocks)
+        assert moved == f.nbytes / 512
+
+    def test_decomposed_covers_all_blocks(self):
+        f = np.random.default_rng(53).random((8, 6, 4))
+        decomp = BlockDecomposition3D(f.shape, (2, 3, 1))
+        blocks = downsample_decomposed(f, decomp, stride=2)
+        assert len(blocks) == 6
+        for b, blk in zip(decomp.blocks(), blocks):
+            assert blk.lo == b.lo and blk.hi == b.hi
+
+
+class TestBlockLUT:
+    def _blocks(self, shape=(8, 8, 8), grid=(2, 2, 1), stride=2, seed=54):
+        f = np.random.default_rng(seed).random(shape)
+        decomp = BlockDecomposition3D(shape, grid)
+        return f, downsample_decomposed(f, decomp, stride)
+
+    def test_routes_cells_to_owner(self):
+        f, blocks = self._blocks()
+        lut = BlockLUT(blocks, f.shape)
+        cell = np.array([[0, 0, 0], [7, 7, 7], [3, 4, 0]])
+        which = lut.block_of_cell(cell)
+        assert which[0] == 0
+        assert blocks[which[1]].hi == (8, 8, 8)
+
+    def test_sampler_returns_retained_voxels(self):
+        f, blocks = self._blocks(stride=2)
+        lut = BlockLUT(blocks, f.shape)
+        sample = lut.sampler()
+        # at even coordinates the retained voxel is the exact value
+        pts = np.array([[0, 0, 0], [2, 4, 6], [6, 6, 2]], dtype=float)
+        np.testing.assert_allclose(
+            sample(pts), [f[0, 0, 0], f[2, 4, 6], f[6, 6, 2]])
+
+    def test_lut_is_small(self):
+        """"This small look-up table" — metadata, not data."""
+        f, blocks = self._blocks()
+        lut = BlockLUT(blocks, f.shape)
+        assert lut.nbytes < sum(b.nbytes for b in blocks)
+
+    def test_stride_disagreement_raises(self):
+        f, blocks = self._blocks()
+        bad = downsample_block(np.zeros((4, 4, 8)), blocks[0].lo,
+                               blocks[0].hi, stride=4)
+        with pytest.raises(ValueError):
+            BlockLUT([bad] + blocks[1:], f.shape)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            BlockLUT([], (4, 4, 4))
+
+
+class TestHybridRenderer:
+    def test_stride_one_matches_nearest_of_serial(self):
+        """At stride 1 the LUT renderer sees full data; its image should be
+        close to the serial (trilinear) reference."""
+        f = _blob_field(shape=(12, 12, 10))
+        decomp = BlockDecomposition3D(f.shape, (2, 2, 1))
+        tf = TransferFunction.hot(float(f.min()), float(f.max()))
+        cam = Camera(image_shape=(12, 12))
+        serial = render_volume(f, cam, tf, step=0.5)
+        hybrid = render_intransit(downsample_decomposed(f, decomp, 1),
+                                  f.shape, cam, tf, step=0.5)
+        assert image_rmse(serial, hybrid) < 0.05
+
+    def test_error_grows_with_stride(self):
+        """Fig. 2's message: the down-sampled render approximates the
+        full-resolution one; fidelity degrades gracefully with stride."""
+        f = _blob_field(shape=(16, 16, 16))
+        decomp = BlockDecomposition3D(f.shape, (2, 2, 2))
+        tf = TransferFunction.hot(float(f.min()), float(f.max()))
+        cam = Camera(image_shape=(16, 16))
+        serial = render_volume(f, cam, tf)
+        errs = []
+        for stride in (1, 2, 4):
+            img = render_intransit(downsample_decomposed(f, decomp, stride),
+                                   f.shape, cam, tf)
+            errs.append(image_rmse(serial, img))
+        assert errs[0] <= errs[1] <= errs[2] + 1e-6
+        assert errs[2] < 0.5  # still recognisably the same scene
+
+    def test_zoom_view(self):
+        """The Fig. 2 zoom-in: same pipeline, tighter camera."""
+        f = _blob_field(shape=(12, 12, 10))
+        decomp = BlockDecomposition3D(f.shape, (2, 1, 1))
+        tf = TransferFunction.hot(float(f.min()), float(f.max()))
+        cam = Camera(image_shape=(10, 10), zoom=3.0, center=(6.0, 6.0, 5.0))
+        img = render_intransit(downsample_decomposed(f, decomp, 2),
+                               f.shape, cam, tf)
+        assert img.shape == (10, 10, 3)
+        assert img.max() > 0.0

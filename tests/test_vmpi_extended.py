@@ -1,0 +1,105 @@
+"""Tests for scan/exscan/reduce_scatter collectives and extra properties."""
+
+import operator
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.gemini import GeminiNetwork
+from repro.vmpi import VirtualComm
+from repro.vmpi.collectives import reduce_scatter_time, scan_time
+
+
+class TestScan:
+    def test_inclusive_prefix_sums(self):
+        comm = VirtualComm(5)
+        out = comm.scan([1, 2, 3, 4, 5], operator.add)
+        assert out == [1, 3, 6, 10, 15]
+
+    def test_exscan(self):
+        comm = VirtualComm(4)
+        out = comm.exscan([1, 2, 3, 4], operator.add)
+        assert out == [None, 1, 3, 6]
+
+    def test_scan_arrays(self):
+        comm = VirtualComm(3)
+        parts = [np.full(2, float(r + 1)) for r in range(3)]
+        out = comm.scan(parts, np.add)
+        np.testing.assert_array_equal(out[2], np.full(2, 6.0))
+
+    def test_scan_offsets_use_case(self):
+        """The classic use: per-rank element counts -> global offsets."""
+        comm = VirtualComm(4)
+        counts = [10, 3, 7, 5]
+        offsets = [0 if v is None else v
+                   for v in comm.exscan(counts, operator.add)]
+        assert offsets == [0, 10, 13, 20]
+
+    def test_tracker_records_scan(self):
+        comm = VirtualComm(8)
+        comm.scan([1] * 8, operator.add)
+        assert comm.tracker.count("scan") == 1
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_property_last_element_is_reduction(self, values):
+        comm = VirtualComm(len(values))
+        out = comm.scan(values, operator.add)
+        assert out[-1] == sum(values)
+
+
+class TestReduceScatter:
+    def test_chunks_reduced_per_destination(self):
+        comm = VirtualComm(3)
+        matrix = [[(src + 1) * 10 + dst for dst in range(3)]
+                  for src in range(3)]
+        out = comm.reduce_scatter(matrix, operator.add)
+        # dst 0 gets 10+20+30 = 60; dst 1 gets 11+21+31 = 63; ...
+        assert out == [60, 63, 66]
+
+    def test_matches_allreduce_slice(self):
+        comm = VirtualComm(4)
+        rng = np.random.default_rng(0)
+        matrix = [[rng.random(3) for _ in range(4)] for _ in range(4)]
+        rs = comm.reduce_scatter(matrix, np.add)
+        for dst in range(4):
+            expected = sum(matrix[src][dst] for src in range(4))
+            np.testing.assert_allclose(rs[dst], expected)
+
+    def test_ragged_rejected(self):
+        comm = VirtualComm(2)
+        with pytest.raises(ValueError):
+            comm.reduce_scatter([[1, 2], [1]], operator.add)
+
+    def test_tracker_records(self):
+        comm = VirtualComm(4)
+        comm.reduce_scatter([[1] * 4] * 4, operator.add)
+        rec = comm.tracker.records[-1]
+        assert rec.op == "reduce_scatter"
+        assert rec.time > 0
+
+
+class TestCollectiveCostShapes:
+    def setup_method(self):
+        self.net = GeminiNetwork()
+
+    def test_scan_log_rounds(self):
+        assert scan_time(self.net, 1024, 64) == pytest.approx(
+            10 * self.net.transfer_time(64))
+
+    def test_reduce_scatter_cheaper_than_allreduce(self):
+        from repro.vmpi.collectives import allreduce_time
+        n = 10**7
+        assert reduce_scatter_time(self.net, 256, n) < \
+            allreduce_time(self.net, 256, n)
+
+    def test_single_rank_free(self):
+        assert scan_time(self.net, 1, 100) == 0.0
+        assert reduce_scatter_time(self.net, 1, 100) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scan_time(self.net, 0, 1)
+        with pytest.raises(ValueError):
+            reduce_scatter_time(self.net, 2, -1)
