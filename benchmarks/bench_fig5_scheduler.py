@@ -73,6 +73,17 @@ def test_fig5_all_buckets_participate(trace):
     assert len({r.bucket for r in sched.results}) == sched.n_buckets
 
 
+def test_fig5_assignment_wait_times_non_negative(trace):
+    """Every AssignmentRecord in the replay has causally-sane times: a
+    task is assigned no earlier than its data-ready event and no earlier
+    than the bucket's ready announcement."""
+    _exp, sched = trace
+    assert sched.assignments  # run_schedule surfaces the scheduler records
+    for rec in sched.assignments:
+        assert rec.assign_time - rec.data_ready_time >= 0.0
+        assert rec.assign_time - rec.bucket_ready_time >= 0.0
+
+
 def test_fig5_rpc_load_balanced_over_servers():
     """§V: hashing balances RPC messages over DataSpaces servers."""
     from repro.staging import ServiceRing

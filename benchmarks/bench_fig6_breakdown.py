@@ -9,6 +9,8 @@ component; topology's in-transit bar dwarfs everything else.
 Run standalone:  python benchmarks/bench_fig6_breakdown.py
 """
 
+import timeit
+
 import pytest
 
 from repro.core import AnalyticsVariant, ExperimentConfig, ScaledExperiment
@@ -64,6 +66,37 @@ def test_fig6_topology_dominates_intransit():
     # ... and exceeds the simulation step itself — only viable because the
     # computation is asynchronous and temporally multiplexed.
     assert topo > b.simulation_time
+
+
+def test_tracer_disabled_overhead_under_5pct(bench_json_writer):
+    """The disabled tracer must cost < 5% on the breakdown hot path.
+
+    ``breakdown()`` carries the tracer's instrument site (a get_tracer()
+    lookup + enabled check); ``_breakdown()`` is the identical body with
+    no instrumentation. min-of-repeats timing keeps scheduler noise out.
+    """
+    from repro.obs import get_tracer
+
+    exp = ScaledExperiment(ExperimentConfig.paper_4896())
+    assert not get_tracer().enabled  # tracing must be off for this measure
+    n, repeats = 80, 9
+    baseline = min(timeit.repeat(exp._breakdown, number=n,
+                                 repeat=repeats)) / n
+    instrumented = min(timeit.repeat(exp.breakdown, number=n,
+                                     repeat=repeats)) / n
+    overhead = instrumented / baseline - 1.0
+    bench_json_writer("fig6_tracer_overhead", {
+        "name": "fig6_tracer_overhead",
+        "baseline_s": baseline,
+        "instrumented_s": instrumented,
+        "overhead_fraction": overhead,
+        "threshold": 0.05,
+        "rounds": repeats,
+        "iterations": n,
+    })
+    assert overhead < 0.05, (
+        f"disabled-tracer overhead {overhead:.2%} exceeds 5% "
+        f"({instrumented * 1e6:.1f}us vs {baseline * 1e6:.1f}us)")
 
 
 if __name__ == "__main__":

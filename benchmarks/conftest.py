@@ -5,14 +5,72 @@ paper (see DESIGN.md's experiment index). Each can also be executed as a
 script (``python benchmarks/bench_table1.py``) to print the regenerated
 rows; under pytest the same logic runs with assertions on the paper's
 shape claims, and ``pytest-benchmark`` times the representative kernels.
+
+Every ``pytest-benchmark`` result is additionally written to
+``benchmarks/results/BENCH_<name>.json`` at session end, so runs leave a
+machine-readable record without extra flags; tests can record their own
+figures through the ``bench_json_writer`` fixture.
 """
 
 from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.sim import LiftedFlameCase, S3DProxy, StructuredGrid3D
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+_STAT_KEYS = ("min", "max", "mean", "stddev", "median", "iqr", "rounds",
+              "iterations", "ops")
+
+
+def _slug(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", name).strip("_")
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write one ``BENCH_<name>.json`` record under ``benchmarks/results``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{_slug(name)}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_json_writer():
+    """Session fixture handing tests the BENCH_<name>.json writer."""
+    return write_bench_json
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit one BENCH_<name>.json per pytest-benchmark result."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    for bench in getattr(bench_session, "benchmarks", []):
+        stats = getattr(bench, "stats", None)
+        record = {
+            "name": getattr(bench, "name", "unknown"),
+            "fullname": getattr(bench, "fullname", None),
+            "group": getattr(bench, "group", None),
+            "param": getattr(bench, "param", None),
+            "unit": "seconds",
+        }
+        for key in _STAT_KEYS:
+            value = getattr(stats, key, None)
+            if value is not None:
+                try:
+                    record[key] = float(value)
+                except (TypeError, ValueError):
+                    pass
+        if stats is not None:
+            write_bench_json(record["name"], record)
 
 
 def blob_field(shape=(16, 14, 12), n_blobs=5, seed=0) -> np.ndarray:

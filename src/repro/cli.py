@@ -9,7 +9,9 @@ Commands:
 * ``render``    — render the flame in both visualization modes to PPM;
 * ``tradeoff``  — print the post-processing vs concurrent trade-off table;
 * ``schedule``  — replay the full-scale staging schedule and report
-  queue behaviour for a bucket count.
+  queue behaviour for a bucket count;
+* ``trace``     — replay the schedule under the tracer and emit a
+  Chrome/Perfetto trace, critical-path report, and model reconciliation.
 """
 
 from __future__ import annotations
@@ -158,6 +160,81 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0 if sched.keeps_pace() else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core import ExperimentConfig, ScaledExperiment
+    from repro.obs import (
+        critical_path,
+        lane_summary,
+        reconcile_table,
+        reconcile_totals,
+        validate_chrome_trace,
+        write_chrome_trace,
+        write_jsonl,
+    )
+    from repro.obs.tracer import tracing
+
+    if args.functional:
+        # Trace the laptop-scale functional pipeline (wall clock is the
+        # interesting axis there — in-situ Python work takes no DES time).
+        from repro.core import HybridFramework
+        from repro.sim import LiftedFlameCase, StructuredGrid3D
+        from repro.vmpi import BlockDecomposition3D
+
+        shape = (16, 12, 8)
+        with tracing() as tracer:
+            fw = HybridFramework(LiftedFlameCase(StructuredGrid3D(shape),
+                                                 seed=7),
+                                 BlockDecomposition3D(shape, (2, 2, 1)),
+                                 n_buckets=2)
+            fw.run(args.steps)
+        clock = "wall"
+        expected = None
+    else:
+        exp = ScaledExperiment(ExperimentConfig.paper_4896())
+        tracer, sched, expected = exp.traced_schedule(
+            n_steps=args.steps, n_buckets=args.buckets,
+            analysis_interval=args.interval)
+        clock = "trace"
+
+    doc = write_chrome_trace(args.out, tracer.trace, tracer.metrics,
+                             clock=clock)
+    problems = validate_chrome_trace(doc)
+    n_spans = len(tracer.trace.closed_spans())
+    print(f"wrote {args.out}: {len(doc['traceEvents'])} events, "
+          f"{n_spans} spans, {len(tracer.trace.lanes())} lanes "
+          f"(load in Perfetto / chrome://tracing)")
+    if args.jsonl:
+        n_lines = write_jsonl(args.jsonl, tracer.trace, tracer.metrics)
+        print(f"wrote {args.jsonl} ({n_lines} lines)")
+    if problems:
+        print("trace validation FAILED:")
+        for p in problems[:10]:
+            print(f"  - {p}")
+        return 1
+    print("trace validation: ok\n")
+
+    print(lane_summary(tracer.trace, clock=clock))
+    print()
+    print(critical_path(tracer.trace).table())
+    print()
+
+    reconciled = True
+    if expected is not None:
+        obs = tracer.trace.stage_totals()
+        observed = {
+            "simulation": obs.get("simulation", 0.0),
+            "insitu": obs.get("insitu", 0.0),
+            "movement+intransit": (obs.get("movement", 0.0)
+                                   + obs.get("intransit", 0.0)),
+        }
+        rows = reconcile_totals(observed, expected)
+        print(reconcile_table(rows))
+        reconciled = all(r.ok(0.01) for r in rows)
+        print()
+    print(tracer.metrics.summary())
+    return 0 if reconciled else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -197,6 +274,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("schedule", help="full-scale staging schedule replay")
     p.add_argument("--steps", type=int, default=8)
     p.add_argument("--buckets", type=int, default=8)
+
+    p = sub.add_parser("trace", help="traced schedule replay -> Chrome trace")
+    p.add_argument("--steps", type=int, default=10)
+    p.add_argument("--buckets", type=int, default=8)
+    p.add_argument("--interval", type=int, default=1,
+                   help="analysis interval (steps between analysed steps)")
+    p.add_argument("--out", default="repro_trace.json",
+                   help="Chrome trace-event output path")
+    p.add_argument("--jsonl", default=None,
+                   help="also write a JSON-lines event log here")
+    p.add_argument("--functional", action="store_true",
+                   help="trace the laptop-scale functional pipeline instead "
+                        "of the full-scale DES replay")
     return parser
 
 
@@ -207,6 +297,7 @@ _COMMANDS = {
     "render": _cmd_render,
     "tradeoff": _cmd_tradeoff,
     "schedule": _cmd_schedule,
+    "trace": _cmd_trace,
 }
 
 

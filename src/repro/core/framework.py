@@ -46,6 +46,7 @@ from repro.analysis.visualization.downsample import (
 )
 from repro.analysis.visualization.transfer_function import TransferFunction
 from repro.des import Engine
+from repro.obs.tracer import get_tracer
 from repro.sim.lifted_flame import LiftedFlameCase
 from repro.sim.s3d import DecomposedS3D
 from repro.staging.dataspaces import DataSpaces
@@ -126,6 +127,8 @@ class HybridFramework:
         #: Live analysis cadence; steering rules may change it mid-run.
         self.analysis_interval = 1
 
+        # Enable tracing BEFORE constructing the framework to trace a run.
+        self._tracer = get_tracer()
         self.solver = DecomposedS3D(case, decomp)
         self.engine = Engine()
         self.transport = DartTransport(self.engine)
@@ -160,7 +163,9 @@ class HybridFramework:
         packed = self._stats_engine.pack_partials(partials)
         names = list(self.stats_variables)
         descs = [self.transport.register(f"sim-{rank}", vec,
-                                         meta={"rank": rank})
+                                         meta={"rank": rank,
+                                               "analysis": "statistics",
+                                               "timestep": step})
                  for rank, vec in enumerate(packed)]
         engine = self._stats_engine
 
@@ -177,7 +182,10 @@ class HybridFramework:
                 block_boundary_mask(block, self.decomp.global_shape))
             boundary_trees.append(bt)
         descs = [self.transport.register(f"sim-{rank}", bt,
-                                         nbytes=bt.nbytes, meta={"rank": rank})
+                                         nbytes=bt.nbytes,
+                                         meta={"rank": rank,
+                                               "analysis": "topology",
+                                               "timestep": step})
                  for rank, bt in enumerate(boundary_trees)]
         cross = self._cross_edges
 
@@ -216,7 +224,10 @@ class HybridFramework:
         field_min = min(float(b.data.min()) for b in blocks)
         field_max = max(float(b.data.max()) for b in blocks)
         tf = self._transfer_function(field_min, field_max)
-        descs = [self.transport.register(f"sim-{rank}", b, meta={"rank": rank})
+        descs = [self.transport.register(f"sim-{rank}", b,
+                                         meta={"rank": rank,
+                                               "analysis": "visualization",
+                                               "timestep": step})
                  for rank, b in enumerate(blocks)]
         shape = self.decomp.global_shape
         camera = self.camera
@@ -300,21 +311,31 @@ class HybridFramework:
                    or step - last_analysed >= self.analysis_interval)
             if due:
                 last_analysed = step
+                if self._tracer.enabled:
+                    self._tracer.counter("framework.analysed_steps")
                 if "statistics" in self.analyses:
-                    self._submit_statistics(step)
+                    self._traced_submit("statistics", step,
+                                        self._submit_statistics)
                 if "topology" in self.analyses:
-                    self._submit_topology(step)
+                    self._traced_submit("topology", step, self._submit_topology)
                 if "visualization" in self.analyses:
-                    self._submit_visualization(step)
+                    self._traced_submit("visualization", step,
+                                        self._submit_visualization)
                 if "correlation" in self.analyses:
-                    self._submit_correlation(step)
+                    self._traced_submit("correlation", step,
+                                        self._submit_correlation)
                 if "visualization_insitu" in self.analyses:
                     self._render_insitu(step, result)
                 if self.keep_fields:
                     result.temperature_fields[step] = self._gather("T")
             # Drain the staging engine: in-transit results for this step
             # complete now, making steering decisions causal.
-            self.engine.run()
+            if self._tracer.enabled:
+                with self._tracer.span("staging.drain", lane="driver",
+                                       category="driver", step=step):
+                    self.engine.run()
+            else:
+                self.engine.run()
             fresh = self._collect(result)
             self._apply_steering(result, fresh)
 
@@ -326,6 +347,22 @@ class HybridFramework:
         self._collect(result)
         result.bytes_moved = self.transport.bytes_moved()
         return result
+
+    def _traced_submit(self, analysis: str, step: int, submit) -> None:
+        """Run one in-situ stage + task submission under a span.
+
+        The span's trace-clock duration is ~0 (the DES clock does not
+        advance while in-situ Python code runs); the wall-clock duration is
+        the real in-situ cost — export with ``clock="wall"`` to see it.
+        """
+        if self._tracer.enabled:
+            with self._tracer.span(f"submit:{analysis}", lane="driver",
+                                   category="insitu", stage="insitu",
+                                   analysis=analysis, step=step):
+                submit(step)
+            self._tracer.counter(f"framework.submit.{analysis}")
+        else:
+            submit(step)
 
     def _collect(self, result: FrameworkResult) -> list[TaskResult]:
         """Fold newly completed in-transit tasks into the result.

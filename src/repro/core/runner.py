@@ -26,8 +26,10 @@ from repro.costmodel.models import CostModel
 from repro.des import Engine
 from repro.io.fpp import IOTimeModel
 from repro.machine.specs import MachineSpec, jaguar_xk6
+from repro.obs.tracer import Tracer, get_tracer, tracing
 from repro.staging.dataspaces import DataSpaces
 from repro.staging.descriptors import TaskResult
+from repro.staging.scheduler import AssignmentRecord
 from repro.transport.dart import DartTransport
 
 PAPER_GLOBAL_SHAPE = (1600, 1372, 430)
@@ -79,6 +81,8 @@ class ScheduleResult:
     n_steps: int
     sim_step_time: float
     n_buckets: int
+    #: Scheduler assignment records (Fig. 5 event-trace validation).
+    assignments: list[AssignmentRecord] = field(default_factory=list)
 
     def by_analysis(self, name: str) -> list[TaskResult]:
         return [r for r in self.results if r.analysis == name]
@@ -149,6 +153,15 @@ class ScaledExperiment:
         )
 
     def breakdown(self) -> TimingBreakdown:
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span("breakdown.compute", lane="driver",
+                             category="model", config=self.config.name):
+                return self._breakdown()
+        return self._breakdown()
+
+    def _breakdown(self) -> TimingBreakdown:
+        """Uninstrumented breakdown body (the tracer-overhead baseline)."""
         io = IOTimeModel(self.machine.filesystem)
         cfg = self.config
         return TimingBreakdown(
@@ -258,10 +271,21 @@ class ScaledExperiment:
         # submissions happen at the end of the stretched step.
         insitu_total = sum(
             self.cost.time(*self.workload.insitu_op(v)) for v in analyses)
+        tracer = get_tracer()
         t = 0.0
         for step in range(n_steps):
+            if tracer.enabled:
+                # Model-time simulation timeline (the sim cores' lane).
+                tracer.add_span("sim.step", lane="sim-timeline",
+                                t_start=t, t_end=t + sim_dt, category="sim",
+                                stage="simulation", step=step)
             t += sim_dt
             if step % analysis_interval == 0:
+                if tracer.enabled and insitu_total > 0.0:
+                    tracer.add_span("insitu", lane="sim-timeline",
+                                    t_start=t, t_end=t + insitu_total,
+                                    category="insitu", stage="insitu",
+                                    step=step)
                 t += insitu_total
 
                 def submit(when_step: int = step) -> None:
@@ -285,4 +309,50 @@ class ScaledExperiment:
         makespan = max((r.finish_time for r in results), default=0.0)
         return ScheduleResult(results=results, makespan=makespan,
                               n_steps=n_steps, sim_step_time=sim_dt,
-                              n_buckets=n_buckets)
+                              n_buckets=n_buckets,
+                              assignments=list(ds.scheduler.assignments))
+
+    # -- observability ------------------------------------------------------------
+
+    def expected_stage_totals(self, n_steps: int,
+                              analyses: tuple[AnalyticsVariant, ...] =
+                              HYBRID_VARIANTS,
+                              analysis_interval: int = 1) -> dict[str, float]:
+        """Model-side per-stage totals for a :meth:`run_schedule` replay.
+
+        This is the reconciliation reference: the traced stage totals of a
+        replay must add up to these figures (the ``movement`` wire spans
+        and the ``intransit`` service spans split the combined
+        movement+intransit charge between them, so they are compared as
+        one bucket).
+        """
+        n_analysed = len(range(0, n_steps, analysis_interval))
+        insitu_total = sum(
+            self.cost.time(*self.workload.insitu_op(v)) for v in analyses)
+        move_plus_intransit = sum(
+            self.analytics_timing(v).movement_time
+            + self.analytics_timing(v).intransit_time
+            for v in analyses)
+        return {
+            "simulation": n_steps * self.simulation_step_time(),
+            "insitu": n_analysed * insitu_total,
+            "movement+intransit": n_analysed * move_plus_intransit,
+        }
+
+    def traced_schedule(self, n_steps: int = 10,
+                        analyses: tuple[AnalyticsVariant, ...] = HYBRID_VARIANTS,
+                        n_buckets: int | None = None,
+                        analysis_interval: int = 1
+                        ) -> tuple[Tracer, ScheduleResult, dict[str, float]]:
+        """Replay the schedule under a fresh tracer.
+
+        Returns ``(tracer, result, expected)`` where ``expected`` is
+        :meth:`expected_stage_totals` for the same parameters — everything
+        needed to export a Chrome trace and reconcile it.
+        """
+        with tracing() as tracer:
+            result = self.run_schedule(n_steps, analyses, n_buckets,
+                                       analysis_interval)
+        expected = self.expected_stage_totals(n_steps, analyses,
+                                              analysis_interval)
+        return tracer, result, expected

@@ -11,6 +11,8 @@ import heapq
 from collections.abc import Callable, Generator
 from typing import Any
 
+from repro.obs.tracer import get_tracer
+
 
 class Interrupt(Exception):
     """Raised inside a process that another process interrupted."""
@@ -43,6 +45,9 @@ class EventHandle:
             raise RuntimeError("event already triggered")
         self.triggered = True
         self.value = value
+        tracer = self.engine._tracer
+        if tracer.enabled:
+            tracer.counter("des.event_trigger")
         for cb in self.callbacks:
             cb(value)
         waiters, self._waiters = self._waiters, []
@@ -81,6 +86,9 @@ class ProcessHandle:
     def _resume(self, value: Any = None) -> None:
         if self.finished:
             return
+        tracer = self.engine._tracer
+        if tracer.enabled:
+            tracer.counter("des.process_resume")
         try:
             target = self.generator.send(value)
         except StopIteration as stop:
@@ -133,6 +141,11 @@ class Engine:
         self._seq = 0
         self.now: float = 0.0
         self._processes: list[ProcessHandle] = []
+        # Capture the active tracer once; when tracing is enabled the
+        # engine's clock becomes the tracer's trace clock.
+        self._tracer = get_tracer()
+        if self._tracer.enabled:
+            self._tracer.attach_engine(self)
 
     # -- scheduling primitives ----------------------------------------------
 
@@ -148,6 +161,8 @@ class Engine:
 
     def timeout(self, delay: float, value: Any = None) -> EventHandle:
         """Event that triggers ``delay`` simulated seconds from now."""
+        if self._tracer.enabled:
+            self._tracer.counter("des.timeout")
         ev = EventHandle(self)
         self._schedule(delay, ev.succeed, value)
         return ev
@@ -160,6 +175,10 @@ class Engine:
         """Register and start a generator process at the current time."""
         proc = ProcessHandle(self, generator, name)
         self._processes.append(proc)
+        if self._tracer.enabled:
+            self._tracer.counter("des.process_started")
+            self._tracer.instant("process.start", lane="des",
+                                 process=proc.name)
         self._schedule(0.0, proc._resume, None)
         return proc
 
@@ -176,6 +195,7 @@ class Engine:
 
         Returns the final simulated time.
         """
+        traced = self._tracer.enabled
         while self._heap:
             when, _seq, fn, arg = self._heap[0]
             if until is not None and when > until:
@@ -183,6 +203,8 @@ class Engine:
                 return self.now
             heapq.heappop(self._heap)
             self.now = when
+            if traced:
+                self._tracer.counter("des.dispatch")
             fn(arg)
         if until is not None:
             self.now = max(self.now, until)

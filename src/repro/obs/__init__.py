@@ -1,0 +1,86 @@
+"""repro.obs — unified tracing, metrics, and critical-path observability.
+
+The observability subsystem for the hybrid pipeline:
+
+* :class:`Tracer` — span/instant/counter recording against both the DES
+  simulated clock and the wall clock, with per-actor lanes and nesting;
+  disabled by default via the :data:`NULL_TRACER` singleton (near-zero
+  overhead at instrument sites).
+* :class:`MetricsRegistry` — counters, gauges, histograms (bytes moved,
+  SMSG/BTE picks, queue depths, bucket occupancy, retries).
+* Exporters — Chrome trace-event JSON (Perfetto-loadable), JSON-lines
+  event logs, and text summaries.
+* Analysis — :func:`critical_path` extraction over the span DAG and
+  :func:`reconcile_totals` against :mod:`repro.core.breakdown` figures.
+
+Typical use::
+
+    from repro.obs import tracing, write_chrome_trace, critical_path
+
+    with tracing() as tracer:
+        fw = HybridFramework(case, decomp)   # construct *inside* the context
+        fw.run(10)
+    write_chrome_trace("trace.json", tracer.trace, tracer.metrics)
+    print(critical_path(tracer.trace).table())
+
+Or drive the packaged campaign: ``python -m repro trace``.
+"""
+
+from repro.obs.analysis import (
+    CriticalPath,
+    ReconcileRow,
+    critical_path,
+    reconcile_table,
+    reconcile_totals,
+)
+from repro.obs.export import (
+    lane_summary,
+    to_chrome_trace,
+    to_jsonl_lines,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    NULL_TRACER,
+    InstantRecord,
+    NullTracer,
+    SpanRecord,
+    Trace,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "CriticalPath",
+    "ReconcileRow",
+    "critical_path",
+    "reconcile_table",
+    "reconcile_totals",
+    "lane_summary",
+    "to_chrome_trace",
+    "to_jsonl_lines",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "InstantRecord",
+    "NullTracer",
+    "SpanRecord",
+    "Trace",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+]

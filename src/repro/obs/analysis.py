@@ -1,0 +1,211 @@
+"""Trace analysis: critical-path extraction and breakdown reconciliation.
+
+The critical path answers the paper's central scheduling question: *which
+stage bounds the per-timestep makespan* — the stencil sweep on the sim
+cores, the RDMA movement, or the in-transit glue? It is extracted over the
+recorded span DAG, whose edges are
+
+* **lane order** — a span is preceded by the latest span on the same lane
+  that ended before it started (a bucket finishing one task before the
+  next);
+* **link tags** — spans sharing a tag value (``step`` by default) are
+  causally ordered by time (the sim span of step *n* releases step *n*'s
+  movement and in-transit spans);
+* **explicit ``follows`` tags** — a span carrying ``follows=<span_id>``
+  (or a list of ids) names its producers directly.
+
+Walking back from the last-finishing span and always choosing the
+*latest-ending* predecessor yields the blocking chain; gaps between
+consecutive path spans are genuine waits (queueing, NIC contention).
+
+:func:`reconcile_totals` checks traced per-stage totals against an
+expected breakdown (e.g. :class:`repro.core.breakdown.TimingBreakdown`
+figures) — the guard that keeps the observability layer honest.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.obs.tracer import SpanRecord, Trace
+from repro.util.tables import TextTable
+
+__all__ = [
+    "CriticalPath",
+    "critical_path",
+    "ReconcileRow",
+    "reconcile_totals",
+    "reconcile_table",
+]
+
+
+@dataclass
+class CriticalPath:
+    """The blocking chain of spans ending at the trace's last finish."""
+
+    spans: list[SpanRecord] = field(default_factory=list)
+    #: sink finish minus first path span start (the bounded makespan).
+    makespan: float = 0.0
+    #: Sum of path span durations (trace clock).
+    busy_time: float = 0.0
+    #: Makespan minus busy time: queueing/contention gaps along the path.
+    wait_time: float = 0.0
+    #: Path busy time attributed per ``stage`` tag.
+    stage_totals: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def bounding_stage(self) -> str | None:
+        """The stage holding the largest share of the path's busy time."""
+        if not self.stage_totals:
+            return None
+        return max(self.stage_totals, key=lambda k: self.stage_totals[k])
+
+    def table(self, max_rows: int = 40) -> str:
+        t = TextTable(["lane", "span", "stage", "start (s)", "dur (s)",
+                       "wait before (s)"],
+                      title="critical path (last-finishing chain)")
+        shown = self.spans[-max_rows:]
+        prev_end: float | None = (shown[0].t_start if shown else None)
+        for span in shown:
+            wait = max(0.0, span.t_start - prev_end) if prev_end is not None else 0.0
+            t.add_row([span.lane, span.name, span.tags.get("stage", "—"),
+                       round(span.t_start, 4), round(span.duration, 4),
+                       round(wait, 4)])
+            prev_end = span.t_end
+        lines = [t.render()]
+        if len(self.spans) > max_rows:
+            lines.append(f"({len(self.spans) - max_rows} earlier path spans "
+                         f"not shown)")
+        lines.append(f"makespan {self.makespan:.4f} s = busy "
+                     f"{self.busy_time:.4f} s + wait {self.wait_time:.4f} s; "
+                     f"bounded by: {self.bounding_stage or 'n/a'}")
+        if self.stage_totals:
+            share = TextTable(["stage", "path time (s)", "share"],
+                              title="path time by stage")
+            for stage, total in sorted(self.stage_totals.items(),
+                                       key=lambda kv: -kv[1]):
+                frac = total / self.busy_time if self.busy_time else 0.0
+                share.add_row([stage, round(total, 4), f"{100 * frac:.1f}%"])
+            lines.append(share.render())
+        return "\n\n".join(lines)
+
+
+def _predecessor(candidates: list[SpanRecord], ends: list[float],
+                 before: float) -> SpanRecord | None:
+    """Latest-ending span in a (t_end-sorted) list with t_end <= before."""
+    i = bisect.bisect_right(ends, before)
+    return candidates[i - 1] if i else None
+
+
+def critical_path(trace: Trace, spans: list[SpanRecord] | None = None,
+                  link_tags: tuple[str, ...] = ("step",),
+                  sink: SpanRecord | None = None,
+                  eps: float = 1e-9) -> CriticalPath:
+    """Extract the blocking chain ending at ``sink`` (default: the span
+    with the greatest finish time).
+
+    By default the DAG is built over stage-tagged spans — the disjoint
+    per-stage activities — so parents that merely wrap children do not
+    double count. Pass ``spans`` to analyse a custom subset.
+    """
+    if spans is None:
+        spans = [s for s in trace.closed_spans() if "stage" in s.tags]
+    if not spans:
+        return CriticalPath()
+
+    by_id = {s.span_id: s for s in spans}
+    by_lane: dict[str, list[SpanRecord]] = {}
+    by_link: dict[tuple[str, object], list[SpanRecord]] = {}
+    for s in spans:
+        by_lane.setdefault(s.lane, []).append(s)
+        for tag in link_tags:
+            if tag in s.tags:
+                by_link.setdefault((tag, s.tags[tag]), []).append(s)
+    lane_ends: dict[str, list[float]] = {}
+    for lane, group in by_lane.items():
+        group.sort(key=lambda s: (s.t_end, s.span_id))
+        lane_ends[lane] = [s.t_end for s in group]
+    link_ends: dict[tuple[str, object], list[float]] = {}
+    for key, group in by_link.items():
+        group.sort(key=lambda s: (s.t_end, s.span_id))
+        link_ends[key] = [s.t_end for s in group]
+
+    current = sink or max(spans, key=lambda s: (s.t_end, s.span_id))
+    path = [current]
+    visited = {current.span_id}
+    while True:
+        cutoff = current.t_start + eps
+        candidates: list[SpanRecord] = []
+        pred = _predecessor(by_lane[current.lane], lane_ends[current.lane],
+                            cutoff)
+        if pred is not None:
+            candidates.append(pred)
+        for tag in link_tags:
+            if tag in current.tags:
+                key = (tag, current.tags[tag])
+                pred = _predecessor(by_link[key], link_ends[key], cutoff)
+                if pred is not None:
+                    candidates.append(pred)
+        follows = current.tags.get("follows")
+        if follows is not None:
+            ids = follows if isinstance(follows, (list, tuple)) else (follows,)
+            for span_id in ids:
+                producer = by_id.get(span_id)
+                if producer is not None and producer.t_end <= cutoff:
+                    candidates.append(producer)
+        candidates = [c for c in candidates if c.span_id not in visited]
+        if not candidates:
+            break
+        current = max(candidates, key=lambda s: (s.t_end, s.span_id))
+        visited.add(current.span_id)
+        path.append(current)
+    path.reverse()
+
+    busy = sum(s.duration for s in path)
+    makespan = path[-1].t_end - path[0].t_start
+    stage_totals: dict[str, float] = {}
+    for s in path:
+        stage = s.tags.get("stage")
+        if stage is not None:
+            stage_totals[stage] = stage_totals.get(stage, 0.0) + s.duration
+    return CriticalPath(spans=path, makespan=makespan, busy_time=busy,
+                        wait_time=max(0.0, makespan - busy),
+                        stage_totals=stage_totals)
+
+
+@dataclass
+class ReconcileRow:
+    """One stage's expected-vs-traced comparison."""
+
+    stage: str
+    expected: float
+    observed: float
+
+    @property
+    def rel_err(self) -> float:
+        if self.expected == 0.0:
+            return abs(self.observed)
+        return abs(self.observed - self.expected) / abs(self.expected)
+
+    def ok(self, tolerance: float) -> bool:
+        return self.rel_err <= tolerance
+
+
+def reconcile_totals(observed: dict[str, float], expected: dict[str, float]
+                     ) -> list[ReconcileRow]:
+    """Compare traced per-stage totals against model-expected totals."""
+    return [ReconcileRow(stage=stage, expected=exp,
+                         observed=observed.get(stage, 0.0))
+            for stage, exp in sorted(expected.items())]
+
+
+def reconcile_table(rows: list[ReconcileRow], tolerance: float = 0.01) -> str:
+    t = TextTable(["stage", "model (s)", "traced (s)", "rel err", "ok"],
+                  title=f"trace vs core.breakdown (tolerance "
+                        f"{100 * tolerance:.1f}%)")
+    for row in rows:
+        t.add_row([row.stage, round(row.expected, 4),
+                   round(row.observed, 4), f"{100 * row.rel_err:.3f}%",
+                   "yes" if row.ok(tolerance) else "NO"])
+    return t.render()

@@ -1,0 +1,271 @@
+"""Trace exporters: Chrome trace-event JSON, JSON lines, text summaries.
+
+The Chrome export is Perfetto-loadable (``ui.perfetto.dev`` → "Open trace
+file"). Lanes map to ``pid``s; within a lane, spans are packed onto the
+fewest sub-rows (``tid``s) such that each row's spans are sequential or
+properly nested — so the emitted ``B``/``E`` pairs always balance per
+``(pid, tid)``, even when a lane carries overlapping spans (streaming
+prefetch). Timestamps are the tracer's trace clock (DES simulated time in
+an engine-attached run) in microseconds; pass ``clock="wall"`` to export
+the wall-clock timeline of a functional run instead.
+
+:func:`validate_chrome_trace` is the structural checker the CLI and tests
+use: every event carries ``name/ph/ts/pid/tid`` and ``B``/``E`` pairs
+balance per lane row.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections.abc import Iterator
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanRecord, Trace
+from repro.util.tables import TextTable
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "to_jsonl_lines",
+    "write_jsonl",
+    "lane_summary",
+]
+
+_US = 1e6  # chrome trace timestamps are microseconds
+
+
+def _json_safe(tags: dict[str, Any]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for key, value in tags.items():
+        if isinstance(value, (str, int, bool)) or value is None:
+            out[key] = value
+        elif isinstance(value, float):
+            out[key] = value if math.isfinite(value) else repr(value)
+        else:
+            out[key] = repr(value)
+    return out
+
+
+def _span_times(span: SpanRecord, clock: str) -> tuple[float, float]:
+    if clock == "wall":
+        return span.wall_start, span.wall_end
+    return span.t_start, span.t_end
+
+
+def _assign_rows(spans: list[SpanRecord], clock: str
+                 ) -> list[list[SpanRecord]]:
+    """Pack a lane's spans onto rows where spans are disjoint or properly
+    nested — the invariant that makes ``B``/``E`` emission balance."""
+    ordered = sorted(spans, key=lambda s: (_span_times(s, clock)[0],
+                                           -_span_times(s, clock)[1],
+                                           s.span_id))
+    rows: list[list[SpanRecord]] = []
+    open_ends: list[list[float]] = []  # per row, stack of open end times
+    for span in ordered:
+        start, end = _span_times(span, clock)
+        placed = False
+        for row, ends in zip(rows, open_ends):
+            while ends and ends[-1] <= start:
+                ends.pop()
+            if not ends or ends[-1] >= end:
+                row.append(span)
+                ends.append(end)
+                placed = True
+                break
+        if not placed:
+            rows.append([span])
+            open_ends.append([end])
+    return rows
+
+
+def _row_events(row: list[SpanRecord], pid: int, tid: int, clock: str
+                ) -> list[dict[str, Any]]:
+    """Emit balanced B/E events for one row (spans disjoint or nested)."""
+    events: list[dict[str, Any]] = []
+    stack: list[tuple[float, SpanRecord]] = []
+
+    def _close(until: float) -> None:
+        while stack and stack[-1][0] <= until:
+            end, span = stack.pop()
+            events.append({"name": span.name, "ph": "E", "ts": end * _US,
+                           "pid": pid, "tid": tid})
+
+    for span in row:
+        start, end = _span_times(span, clock)
+        _close(start)
+        event: dict[str, Any] = {"name": span.name, "ph": "B",
+                                 "ts": start * _US, "pid": pid, "tid": tid}
+        args = _json_safe(span.tags)
+        if span.category:
+            event["cat"] = span.category
+        if args:
+            event["args"] = args
+        events.append(event)
+        stack.append((end, span))
+    _close(math.inf)
+    return events
+
+
+def to_chrome_trace(trace: Trace, metrics: MetricsRegistry | None = None,
+                    clock: str = "trace") -> dict[str, Any]:
+    """Convert a trace (and optional counter series) to a Chrome trace doc."""
+    if clock not in ("trace", "wall"):
+        raise ValueError(f"clock must be 'trace' or 'wall', got {clock!r}")
+    lanes = trace.lanes()
+    pid_of = {lane: i + 1 for i, lane in enumerate(lanes)}
+    events: list[dict[str, Any]] = []
+    for lane in lanes:
+        pid = pid_of[lane]
+        events.append({"name": "process_name", "ph": "M", "ts": 0,
+                       "pid": pid, "tid": 0, "args": {"name": lane}})
+
+    spans_by_lane: dict[str, list[SpanRecord]] = {}
+    for span in trace.closed_spans():
+        spans_by_lane.setdefault(span.lane, []).append(span)
+    for lane, spans in spans_by_lane.items():
+        pid = pid_of[lane]
+        for tid, row in enumerate(_assign_rows(spans, clock)):
+            events.extend(_row_events(row, pid, tid, clock))
+
+    for inst in trace.instants:
+        event: dict[str, Any] = {"name": inst.name, "ph": "i",
+                                 "ts": (inst.wall_t if clock == "wall"
+                                        else inst.t) * _US,
+                                 "pid": pid_of[inst.lane], "tid": 0,
+                                 "s": "t"}
+        args = _json_safe(inst.tags)
+        if args:
+            event["args"] = args
+        events.append(event)
+
+    if metrics is not None:
+        metrics_pid = len(lanes) + 1
+        emitted_meta = False
+        for name, counter in sorted(metrics.counters.items()):
+            for t, value in counter.series or []:
+                events.append({"name": name, "ph": "C", "ts": t * _US,
+                               "pid": metrics_pid, "tid": 0,
+                               "args": {"value": value}})
+                emitted_meta = True
+        for name, gauge in sorted(metrics.gauges.items()):
+            for t, value in gauge.series or []:
+                events.append({"name": name, "ph": "C", "ts": t * _US,
+                               "pid": metrics_pid, "tid": 0,
+                               "args": {"value": value}})
+                emitted_meta = True
+        if emitted_meta:
+            events.append({"name": "process_name", "ph": "M", "ts": 0,
+                           "pid": metrics_pid, "tid": 0,
+                           "args": {"name": "metrics"}})
+
+    events.sort(key=lambda e: e["ts"])  # stable: preserves B/E order at ties
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, trace: Trace,
+                       metrics: MetricsRegistry | None = None,
+                       clock: str = "trace") -> dict[str, Any]:
+    doc = to_chrome_trace(trace, metrics, clock)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return doc
+
+
+def validate_chrome_trace(doc: dict[str, Any]) -> list[str]:
+    """Structural validation; returns a list of problems (empty = valid).
+
+    Checks: the document shape, that every event carries
+    ``name/ph/ts/pid/tid``, and that ``B``/``E`` pairs balance (LIFO, name
+    matched) per ``(pid, tid)`` lane row.
+    """
+    problems: list[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["document has no 'traceEvents' list"]
+    stacks: dict[tuple[Any, Any], list[str]] = {}
+    for i, event in enumerate(events):
+        missing = [k for k in ("name", "ph", "ts", "pid", "tid")
+                   if k not in event]
+        if missing:
+            problems.append(f"event {i} missing keys {missing}: {event!r}")
+            continue
+        key = (event["pid"], event["tid"])
+        if event["ph"] == "B":
+            stacks.setdefault(key, []).append(event["name"])
+        elif event["ph"] == "E":
+            stack = stacks.get(key)
+            if not stack:
+                problems.append(f"event {i}: E {event['name']!r} on "
+                                f"pid/tid {key} with no open B")
+            elif stack[-1] != event["name"]:
+                problems.append(f"event {i}: E {event['name']!r} closes "
+                                f"B {stack[-1]!r} on pid/tid {key}")
+                stack.pop()
+            else:
+                stack.pop()
+    for key, stack in stacks.items():
+        if stack:
+            problems.append(f"pid/tid {key} ends with unclosed spans {stack}")
+    return problems
+
+
+def to_jsonl_lines(trace: Trace, metrics: MetricsRegistry | None = None
+                   ) -> Iterator[str]:
+    """The full event record as JSON lines (one object per line)."""
+    for span in trace.spans:
+        yield json.dumps({
+            "type": "span", "name": span.name, "lane": span.lane,
+            "span_id": span.span_id, "parent_id": span.parent_id,
+            "category": span.category,
+            "t_start": span.t_start,
+            "t_end": span.t_end if span.closed else None,
+            "wall_start": span.wall_start,
+            "wall_end": span.wall_end if span.closed else None,
+            "tags": _json_safe(span.tags),
+        })
+    for inst in trace.instants:
+        yield json.dumps({
+            "type": "instant", "name": inst.name, "lane": inst.lane,
+            "t": inst.t, "wall_t": inst.wall_t,
+            "tags": _json_safe(inst.tags),
+        })
+    if metrics is not None:
+        yield json.dumps({"type": "metrics", **metrics.snapshot()})
+
+
+def write_jsonl(path: str, trace: Trace,
+                metrics: MetricsRegistry | None = None) -> int:
+    """Write the JSON-lines event log; returns the number of lines."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in to_jsonl_lines(trace, metrics):
+            fh.write(line + "\n")
+            n += 1
+    return n
+
+
+def lane_summary(trace: Trace, clock: str = "trace") -> str:
+    """Per-lane span counts and busy time as an aligned text table."""
+    if clock not in ("trace", "wall"):
+        raise ValueError(f"clock must be 'trace' or 'wall', got {clock!r}")
+    table = TextTable(["lane", "spans", "instants", "busy (s)", "first",
+                       "last"], title="trace lanes")
+    instants_by_lane: dict[str, int] = {}
+    for inst in trace.instants:
+        instants_by_lane[inst.lane] = instants_by_lane.get(inst.lane, 0) + 1
+    spans_by_lane: dict[str, list[SpanRecord]] = {}
+    for span in trace.closed_spans():
+        spans_by_lane.setdefault(span.lane, []).append(span)
+    for lane in trace.lanes():
+        spans = spans_by_lane.get(lane, [])
+        times = [_span_times(s, clock) for s in spans]
+        busy = sum(e - s for s, e in times)
+        table.add_row([
+            lane, len(spans), instants_by_lane.get(lane, 0), round(busy, 4),
+            round(min((s for s, _ in times), default=0.0), 4),
+            round(max((e for _, e in times), default=0.0), 4),
+        ])
+    return table.render()

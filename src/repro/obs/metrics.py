@@ -1,0 +1,233 @@
+"""Metrics registry: counters, gauges, and histograms.
+
+The registry is the numeric side of :mod:`repro.obs` — bytes moved,
+protocol picks, queue depths, bucket occupancy, retries. Instruments are
+created on first use (``registry.counter("dart.bytes_pulled")``) and are
+cheap enough to update from hot paths; when the registry is created with a
+clock and ``record_series=True`` every update also appends a
+``(time, value)`` sample so exporters can emit Chrome ``C`` (counter)
+events and queue-depth timelines.
+
+A :data:`NULL_METRICS` registry backs the disabled tracer: its instruments
+are shared no-op singletons, so instrumentation sites pay one attribute
+lookup and a no-op call when tracing is off.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.util.tables import TextTable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+]
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes, retries)."""
+
+    __slots__ = ("name", "value", "series", "_clock")
+
+    def __init__(self, name: str, clock: Callable[[], float] | None = None,
+                 record_series: bool = False) -> None:
+        self.name = name
+        self.value: float = 0
+        self.series: list[tuple[float, float]] | None = (
+            [] if record_series and clock is not None else None)
+        self._clock = clock
+
+    def inc(self, delta: float = 1) -> None:
+        if delta < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease "
+                             f"(delta={delta})")
+        self.value += delta
+        if self.series is not None:
+            self.series.append((self._clock(), self.value))
+
+
+class Gauge:
+    """Last-written value with running min/max (queue depth, live bytes)."""
+
+    __slots__ = ("name", "value", "vmin", "vmax", "n_samples", "series",
+                 "_clock")
+
+    def __init__(self, name: str, clock: Callable[[], float] | None = None,
+                 record_series: bool = False) -> None:
+        self.name = name
+        self.value: float = 0.0
+        self.vmin: float = float("inf")
+        self.vmax: float = float("-inf")
+        self.n_samples = 0
+        self.series: list[tuple[float, float]] | None = (
+            [] if record_series and clock is not None else None)
+        self._clock = clock
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.vmin = min(self.vmin, value)
+        self.vmax = max(self.vmax, value)
+        self.n_samples += 1
+        if self.series is not None:
+            self.series.append((self._clock(), value))
+
+
+class Histogram:
+    """Distribution of observed values (transfer sizes, span durations)."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    @property
+    def vmin(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def vmax(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = max(0, min(len(ordered) - 1,
+                          round(p / 100 * (len(ordered) - 1))))
+        return ordered[rank]
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for the disabled tracer."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+    series = None
+    values: list[float] = []
+
+    def inc(self, delta: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Name-keyed collection of instruments, created on first use."""
+
+    def __init__(self, clock: Callable[[], float] | None = None,
+                 record_series: bool = False) -> None:
+        self._clock = clock
+        self._record_series = record_series
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self.counters.get(name)
+        if inst is None:
+            inst = self.counters[name] = Counter(name, self._clock,
+                                                 self._record_series)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self.gauges.get(name)
+        if inst is None:
+            inst = self.gauges[name] = Gauge(name, self._clock,
+                                             self._record_series)
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self.histograms.get(name)
+        if inst is None:
+            inst = self.histograms[name] = Histogram(name)
+        return inst
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """All current values as plain (JSON-safe) data."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: {"last": g.value, "min": g.vmin, "max": g.vmax,
+                           "samples": g.n_samples}
+                       for n, g in sorted(self.gauges.items())
+                       if g.n_samples},
+            "histograms": {n: {"count": h.count, "total": h.total,
+                               "mean": h.mean, "min": h.vmin, "max": h.vmax,
+                               "p50": h.percentile(50), "p99": h.percentile(99)}
+                           for n, h in sorted(self.histograms.items())
+                           if h.count},
+        }
+
+    def summary(self) -> str:
+        """Aligned text tables of every instrument (via ``util.tables``)."""
+        snap = self.snapshot()
+        parts: list[str] = []
+        if snap["counters"]:
+            t = TextTable(["counter", "value"], title="counters")
+            for name, value in snap["counters"].items():
+                t.add_row([name, value])
+            parts.append(t.render())
+        if snap["gauges"]:
+            t = TextTable(["gauge", "last", "min", "max", "samples"],
+                          title="gauges")
+            for name, g in snap["gauges"].items():
+                t.add_row([name, g["last"], g["min"], g["max"], g["samples"]])
+            parts.append(t.render())
+        if snap["histograms"]:
+            t = TextTable(["histogram", "count", "mean", "p50", "p99", "max"],
+                          title="histograms")
+            for name, h in snap["histograms"].items():
+                t.add_row([name, h["count"], h["mean"], h["p50"], h["p99"],
+                           h["max"]])
+            parts.append(t.render())
+        return "\n\n".join(parts) if parts else "(no metrics)"
+
+
+class _NullMetricsRegistry(MetricsRegistry):
+    """Registry whose instruments are shared no-ops (disabled tracing)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str) -> Counter:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+
+NULL_METRICS = _NullMetricsRegistry()

@@ -1,0 +1,353 @@
+"""Dual-clock tracer: spans, instants, and counters over actor lanes.
+
+Every span records *both* clocks:
+
+* the **trace clock** (``t_start``/``t_end``) — the DES simulated time
+  when an :class:`~repro.des.engine.Engine` has attached itself to the
+  tracer (the engine does this automatically at construction when tracing
+  is enabled), otherwise wall seconds since the tracer was created;
+* the **wall clock** (``wall_start``/``wall_end``) — ``perf_counter``
+  time of the real numpy work, always.
+
+Spans live on *lanes* — one per actor (a rank, a staging bucket, the
+scheduler, the sim driver) — and nest per lane: a span begun while another
+is open on the same lane records it as its parent. Overlapping,
+non-nesting spans on one lane (streaming prefetch pulls) are legal; the
+Chrome exporter splits them onto sub-rows.
+
+Tracing is off by default and *near-zero cost* when off: the module-level
+singleton is a :class:`NullTracer` whose ``enabled`` flag instrument sites
+check once (or whose methods are shared no-ops). Enable it for a run with
+:func:`enable_tracing` / the :func:`tracing` context manager **before**
+constructing the objects to observe — sites capture the tracer at
+construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+
+__all__ = [
+    "SpanRecord",
+    "InstantRecord",
+    "Trace",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing",
+]
+
+
+@dataclass(eq=False)
+class SpanRecord:
+    """One traced activity on a lane, timed against both clocks."""
+
+    name: str
+    lane: str
+    span_id: int
+    parent_id: int | None
+    t_start: float
+    wall_start: float
+    category: str | None = None
+    tags: dict[str, Any] = field(default_factory=dict)
+    t_end: float = math.nan
+    wall_end: float = math.nan
+
+    @property
+    def closed(self) -> bool:
+        return not math.isnan(self.t_end)
+
+    @property
+    def duration(self) -> float:
+        """Trace-clock duration (DES seconds when an engine is attached)."""
+        return self.t_end - self.t_start
+
+    @property
+    def wall_duration(self) -> float:
+        return self.wall_end - self.wall_start
+
+    @property
+    def stage(self) -> str | None:
+        """The pipeline stage this span charges (``stage`` tag), if any."""
+        return self.tags.get("stage")
+
+
+@dataclass(eq=False)
+class InstantRecord:
+    """A point event on a lane (data-ready, assignment, notification)."""
+
+    name: str
+    lane: str
+    t: float
+    wall_t: float
+    tags: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Trace:
+    """Everything one tracer recorded."""
+
+    spans: list[SpanRecord] = field(default_factory=list)
+    instants: list[InstantRecord] = field(default_factory=list)
+
+    def lanes(self) -> list[str]:
+        seen = {s.lane for s in self.spans} | {i.lane for i in self.instants}
+        return sorted(seen)
+
+    def closed_spans(self) -> list[SpanRecord]:
+        return [s for s in self.spans if s.closed]
+
+    def open_spans(self) -> list[SpanRecord]:
+        return [s for s in self.spans if not s.closed]
+
+    def spans_with(self, **tags: Any) -> list[SpanRecord]:
+        """Closed spans whose tags include every given key/value."""
+        return [s for s in self.closed_spans()
+                if all(s.tags.get(k) == v for k, v in tags.items())]
+
+    def stage_totals(self, clock: str = "trace") -> dict[str, float]:
+        """Total duration per ``stage`` tag (spans without one are skipped).
+
+        Stage-tagged spans never nest inside same-stage spans at the
+        instrumentation sites, so a plain sum does not double count.
+        """
+        if clock not in ("trace", "wall"):
+            raise ValueError(f"clock must be 'trace' or 'wall', got {clock!r}")
+        out: dict[str, float] = {}
+        for s in self.closed_spans():
+            stage = s.tags.get("stage")
+            if stage is None:
+                continue
+            dur = s.duration if clock == "trace" else s.wall_duration
+            out[stage] = out.get(stage, 0.0) + dur
+        return out
+
+
+class Tracer:
+    """Recording tracer. See the module docstring for the clock model."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._wall_epoch = time.perf_counter()
+        self._clock = clock or (lambda: time.perf_counter() - self._wall_epoch)
+        self.metrics = MetricsRegistry(clock=self.now, record_series=True)
+        self.trace = Trace()
+        self._stacks: dict[str, list[SpanRecord]] = {}
+        self._ids = itertools.count(1)
+
+    # -- clocks --------------------------------------------------------------
+
+    def now(self) -> float:
+        """Current trace-clock time (DES time once an engine attaches)."""
+        return self._clock()
+
+    def attach_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+
+    def attach_engine(self, engine: Any) -> None:
+        """Use ``engine.now`` as the trace clock (the DES engine calls this
+        from its constructor when tracing is enabled; last engine wins)."""
+        self.attach_clock(lambda: engine.now)
+
+    # -- spans ---------------------------------------------------------------
+
+    def begin(self, name: str, lane: str = "main",
+              category: str | None = None, **tags: Any) -> SpanRecord:
+        """Open a span on ``lane``; the open span below it (if any) becomes
+        its parent. Close it with :meth:`end` (LIFO order not required)."""
+        stack = self._stacks.setdefault(lane, [])
+        rec = SpanRecord(
+            name=name, lane=lane, span_id=next(self._ids),
+            parent_id=stack[-1].span_id if stack else None,
+            t_start=self.now(), wall_start=time.perf_counter(),
+            category=category, tags=tags,
+        )
+        stack.append(rec)
+        self.trace.spans.append(rec)
+        return rec
+
+    def end(self, span: SpanRecord, **tags: Any) -> SpanRecord:
+        if span.closed:
+            raise RuntimeError(f"span {span.name!r} already ended")
+        span.t_end = self.now()
+        span.wall_end = time.perf_counter()
+        span.tags.update(tags)
+        stack = self._stacks.get(span.lane)
+        if stack and span in stack:
+            stack.remove(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, lane: str = "main",
+             category: str | None = None, **tags: Any) -> Iterator[SpanRecord]:
+        rec = self.begin(name, lane, category, **tags)
+        try:
+            yield rec
+        finally:
+            self.end(rec)
+
+    def add_span(self, name: str, lane: str, t_start: float, t_end: float,
+                 category: str | None = None,
+                 parent_id: int | None = None, **tags: Any) -> SpanRecord:
+        """Record an already-timed span with explicit trace-clock times
+        (model-generated timelines, e.g. the closed-form sim schedule)."""
+        if t_end < t_start:
+            raise ValueError(f"span ends ({t_end}) before it starts "
+                             f"({t_start})")
+        wall = time.perf_counter()
+        rec = SpanRecord(name=name, lane=lane, span_id=next(self._ids),
+                         parent_id=parent_id, t_start=t_start,
+                         wall_start=wall, category=category, tags=tags,
+                         t_end=t_end, wall_end=wall)
+        self.trace.spans.append(rec)
+        return rec
+
+    # -- instants & counters -------------------------------------------------
+
+    def instant(self, name: str, lane: str = "main", **tags: Any
+                ) -> InstantRecord:
+        rec = InstantRecord(name=name, lane=lane, t=self.now(),
+                            wall_t=time.perf_counter(), tags=tags)
+        self.trace.instants.append(rec)
+        return rec
+
+    def counter(self, name: str, delta: float = 1) -> None:
+        """Shorthand for ``metrics.counter(name).inc(delta)``."""
+        self.metrics.counter(name).inc(delta)
+
+
+class _NullSpan:
+    """Inert span handed out by the disabled tracer."""
+
+    __slots__ = ()
+    name = lane = ""
+    span_id = 0
+    parent_id = None
+    t_start = t_end = wall_start = wall_end = math.nan
+    category = None
+    closed = False
+    stage = None
+
+    @property
+    def tags(self) -> dict[str, Any]:
+        return {}
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a shared no-op.
+
+    Instrument sites hold a reference to this singleton when tracing is
+    off, so the per-call cost is an attribute check (``tracer.enabled``)
+    or a no-op method call — the "near-zero overhead when disabled"
+    contract the hot paths rely on.
+    """
+
+    enabled = False
+    metrics = NULL_METRICS
+
+    @property
+    def trace(self) -> Trace:
+        return Trace()
+
+    def now(self) -> float:
+        return 0.0
+
+    def attach_clock(self, clock: Callable[[], float]) -> None:
+        pass
+
+    def attach_engine(self, engine: Any) -> None:
+        pass
+
+    def begin(self, name: str, lane: str = "main",
+              category: str | None = None, **tags: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def end(self, span: Any, **tags: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def span(self, name: str, lane: str = "main",
+             category: str | None = None, **tags: Any) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def add_span(self, name: str, lane: str, t_start: float, t_end: float,
+                 category: str | None = None,
+                 parent_id: int | None = None, **tags: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def instant(self, name: str, lane: str = "main", **tags: Any) -> None:
+        return None
+
+    def counter(self, name: str, delta: float = 1) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+_TRACER: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The active tracer (the shared :data:`NULL_TRACER` when disabled)."""
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
+    global _TRACER
+    _TRACER = tracer
+    return tracer
+
+
+def enable_tracing(clock: Callable[[], float] | None = None) -> Tracer:
+    """Install (and return) a fresh recording tracer.
+
+    Call before constructing the engine/framework/solver to observe —
+    instrumentation sites capture the active tracer at construction.
+    """
+    tracer = Tracer(clock=clock)
+    set_tracer(tracer)
+    return tracer
+
+
+def disable_tracing() -> None:
+    set_tracer(NULL_TRACER)
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Context manager: install a tracer, restore the previous one after."""
+    previous = get_tracer()
+    active = tracer or Tracer()
+    set_tracer(active)
+    try:
+        yield active
+    finally:
+        set_tracer(previous)

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.costmodel.models import OpDescriptor
+from repro.obs.tracer import get_tracer
 from repro.sim.chemistry import ArrheniusChemistry
 from repro.sim.fields import SPECIES_NAMES, FieldSet
 from repro.sim.grid import StructuredGrid3D
@@ -131,24 +132,32 @@ class S3DProxy:
         self.dt = self.params.resolve_dt(self.grid, max_speed)
         self.step_count = 0
         self.kernel_history: list[tuple[int, tuple[int, int, int]]] = []
+        self._tracer = get_tracer()
 
     def step(self, n: int = 1) -> FieldSet:
         """Advance ``n`` steps; returns the (live) field set."""
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")
         spacing = self.grid.spacing
+        tracer = self._tracer
         for _ in range(n):
-            if self.seed_kernels:
-                for center in self.case.seed_kernels(self.fields, self.step_count):
-                    self.kernel_history.append((self.step_count, center))
-            state = {name: self.fields[name] for name in self.fields.names}
-            rhs = _rhs(state, spacing, self.chemistry, self.params)
-            if self.params.integrator == "rk2":
-                mid = _midpoint_state(state, rhs, self.dt)
-                rhs2 = _rhs(mid, spacing, self.chemistry, self.params)
-                rhs = _combine_heun(rhs, rhs2)
-            _apply_update(state, rhs, self.dt)
-            self.step_count += 1
+            with tracer.span("sim.step", lane="sim", stage="simulation",
+                             step=self.step_count, solver="global"):
+                if self.seed_kernels:
+                    for center in self.case.seed_kernels(self.fields,
+                                                         self.step_count):
+                        self.kernel_history.append((self.step_count, center))
+                state = {name: self.fields[name] for name in self.fields.names}
+                with tracer.span("sim.rhs", lane="sim", category="sim"):
+                    rhs = _rhs(state, spacing, self.chemistry, self.params)
+                if self.params.integrator == "rk2":
+                    mid = _midpoint_state(state, rhs, self.dt)
+                    with tracer.span("sim.rhs", lane="sim", category="sim"):
+                        rhs2 = _rhs(mid, spacing, self.chemistry, self.params)
+                    rhs = _combine_heun(rhs, rhs2)
+                with tracer.span("sim.update", lane="sim", category="sim"):
+                    _apply_update(state, rhs, self.dt)
+                self.step_count += 1
         return self.fields
 
     def op_descriptor(self) -> OpDescriptor:
@@ -190,6 +199,7 @@ class DecomposedS3D:
         max_speed = max(float(np.max(np.abs(initial[c]))) for c in ("u", "v", "w"))
         self.dt = self.params.resolve_dt(self.grid, max_speed)
         self.step_count = 0
+        self._tracer = get_tracer()
 
     def _gather_var(self, name: str) -> np.ndarray:
         return self.decomp.gather([p[name] for p in self.parts])
@@ -203,53 +213,66 @@ class DecomposedS3D:
             raise ValueError(f"n must be >= 1, got {n}")
         spacing = self.grid.spacing
         ghosted_names = ("u", "v", "w") + _TRANSPORTED
+        tracer = self._tracer
         for _ in range(n):
-            if self.seed_kernels:
-                # Global forcing: assemble T, seed, scatter back.
-                fs = FieldSet(self.grid, ("T", "H2", "O2"))
-                fs["T"] = self._gather_var("T")
-                fs["H2"] = self._gather_var("H2")
-                fs["O2"] = self._gather_var("O2")
-                self.case.seed_kernels(fs, self.step_count)
-                self._scatter_var("T", fs["T"])
+            with tracer.span("sim.step", lane="sim", stage="simulation",
+                             step=self.step_count, solver="decomposed"):
+                if self.seed_kernels:
+                    # Global forcing: assemble T, seed, scatter back.
+                    fs = FieldSet(self.grid, ("T", "H2", "O2"))
+                    fs["T"] = self._gather_var("T")
+                    fs["H2"] = self._gather_var("H2")
+                    fs["O2"] = self._gather_var("O2")
+                    self.case.seed_kernels(fs, self.step_count)
+                    self._scatter_var("T", fs["T"])
 
-            # Halo exchange: one ghost layer for every stencil operand.
-            ghosted: dict[str, list[np.ndarray]] = {
-                name: pad_with_ghosts([p[name] for p in self.parts], self.decomp)
-                for name in dict.fromkeys(ghosted_names)
-            }
-            rhs_per_rank: list[dict[str, np.ndarray]] = []
-            for rank in range(self.decomp.n_ranks):
-                state_g = {name: ghosted[name][rank] for name in ghosted}
-                rhs_g = _rhs(state_g, spacing, self.chemistry, self.params)
-                rhs_per_rank.append(
-                    {name: crop_ghosts(r) for name, r in rhs_g.items()})
+                # Halo exchange: one ghost layer for every stencil operand.
+                with tracer.span("sim.halo", lane="sim", category="sim"):
+                    ghosted: dict[str, list[np.ndarray]] = {
+                        name: pad_with_ghosts([p[name] for p in self.parts],
+                                              self.decomp)
+                        for name in dict.fromkeys(ghosted_names)
+                    }
+                with tracer.span("sim.rhs", lane="sim", category="sim"):
+                    rhs_per_rank: list[dict[str, np.ndarray]] = []
+                    for rank in range(self.decomp.n_ranks):
+                        state_g = {name: ghosted[name][rank] for name in ghosted}
+                        rhs_g = _rhs(state_g, spacing, self.chemistry,
+                                     self.params)
+                        rhs_per_rank.append(
+                            {name: crop_ghosts(r) for name, r in rhs_g.items()})
 
-            if self.params.integrator == "rk2":
-                # Predictor blocks, then a SECOND halo exchange before the
-                # corrector RHS — the multi-exchange structure of S3D's
-                # multi-stage RK.
-                mid_parts = [
-                    {**{c: part[c] for c in ("u", "v", "w")},
-                     **{name: part[name] + self.dt * rhs[name]
-                        for name in _TRANSPORTED}}
-                    for part, rhs in zip(self.parts, rhs_per_rank)
-                ]
-                ghosted_mid = {
-                    name: pad_with_ghosts([m[name] for m in mid_parts],
-                                          self.decomp)
-                    for name in dict.fromkeys(ghosted_names)
-                }
-                for rank in range(self.decomp.n_ranks):
-                    mid_g = {name: ghosted_mid[name][rank]
-                             for name in ghosted_mid}
-                    rhs2_g = _rhs(mid_g, spacing, self.chemistry, self.params)
-                    rhs2 = {name: crop_ghosts(r) for name, r in rhs2_g.items()}
-                    rhs_per_rank[rank] = _combine_heun(rhs_per_rank[rank], rhs2)
+                if self.params.integrator == "rk2":
+                    # Predictor blocks, then a SECOND halo exchange before the
+                    # corrector RHS — the multi-exchange structure of S3D's
+                    # multi-stage RK.
+                    mid_parts = [
+                        {**{c: part[c] for c in ("u", "v", "w")},
+                         **{name: part[name] + self.dt * rhs[name]
+                            for name in _TRANSPORTED}}
+                        for part, rhs in zip(self.parts, rhs_per_rank)
+                    ]
+                    with tracer.span("sim.halo", lane="sim", category="sim"):
+                        ghosted_mid = {
+                            name: pad_with_ghosts([m[name] for m in mid_parts],
+                                                  self.decomp)
+                            for name in dict.fromkeys(ghosted_names)
+                        }
+                    with tracer.span("sim.rhs", lane="sim", category="sim"):
+                        for rank in range(self.decomp.n_ranks):
+                            mid_g = {name: ghosted_mid[name][rank]
+                                     for name in ghosted_mid}
+                            rhs2_g = _rhs(mid_g, spacing, self.chemistry,
+                                          self.params)
+                            rhs2 = {name: crop_ghosts(r)
+                                    for name, r in rhs2_g.items()}
+                            rhs_per_rank[rank] = _combine_heun(
+                                rhs_per_rank[rank], rhs2)
 
-            for part, rhs in zip(self.parts, rhs_per_rank):
-                _apply_update(part, rhs, self.dt)
-            self.step_count += 1
+                with tracer.span("sim.update", lane="sim", category="sim"):
+                    for part, rhs in zip(self.parts, rhs_per_rank):
+                        _apply_update(part, rhs, self.dt)
+                self.step_count += 1
 
     def assemble(self) -> FieldSet:
         """Gather all blocks into a global :class:`FieldSet`."""

@@ -22,6 +22,7 @@ from typing import Any
 
 from repro.costmodel.models import CostModel
 from repro.des import Engine
+from repro.obs.tracer import get_tracer
 from repro.staging.descriptors import TaskDescriptor, TaskResult
 from repro.staging.scheduler import TaskScheduler
 from repro.transport.dart import DartTransport
@@ -48,6 +49,7 @@ class StagingBucket:
         #: (task_id, sim-time, exception repr) per failed compute attempt.
         self.failures: list[tuple[str, float, str]] = []
         self.busy_time: float = 0.0
+        self._tracer = get_tracer()
 
     def run(self) -> Generator[Any, Any, None]:
         """The bucket's DES process body."""
@@ -57,7 +59,17 @@ class StagingBucket:
             task: TaskDescriptor = yield self.scheduler.bucket_ready(self.name)
             if task.task_id == StagingBucket.SHUTDOWN.task_id:
                 return
-            yield from self._execute(task)
+            tracer = self._tracer
+            if tracer.enabled:
+                span = tracer.begin(f"task:{task.task_id}", lane=self.name,
+                                    category="task", analysis=task.analysis,
+                                    step=task.timestep, attempt=task.attempts)
+                try:
+                    yield from self._execute(task)
+                finally:
+                    tracer.end(span)
+            else:
+                yield from self._execute(task)
 
     def _execute(self, task: TaskDescriptor) -> Generator[Any, Any, None]:
         assign_t = self.engine.now
@@ -104,7 +116,14 @@ class StagingBucket:
                     task.attempts += 1
                     self.failures.append((task.task_id, self.engine.now,
                                           repr(exc)))
+                    if self._tracer.enabled:
+                        self._tracer.counter("bucket.compute_failures")
+                        self._tracer.instant("bucket.failure", lane=self.name,
+                                             task_id=task.task_id,
+                                             error=repr(exc))
                     if task.attempts <= task.max_retries:
+                        if self._tracer.enabled:
+                            self._tracer.counter("bucket.retries")
                         self.scheduler.data_ready(task)
                         return
                     if retain:
@@ -125,6 +144,19 @@ class StagingBucket:
             yield self.engine.timeout(
                 self.cost_model.time(task.cost_op, task.cost_elements))
         finish_t = self.engine.now
+
+        if self._tracer.enabled:
+            # Compute charge (real compute + cost-model time) as an
+            # explicit-time span nested inside the lane's task span.
+            self._tracer.add_span(f"intransit:{task.analysis}", lane=self.name,
+                                  t_start=pull_done_t, t_end=finish_t,
+                                  category="compute", stage="intransit",
+                                  analysis=task.analysis, step=task.timestep,
+                                  task_id=task.task_id)
+            self._tracer.counter("bucket.tasks_done")
+            self._tracer.counter("bucket.bytes_consumed", task.total_bytes)
+            self._tracer.metrics.histogram("bucket.task_time").observe(
+                finish_t - assign_t)
 
         self.busy_time += finish_t - assign_t
         result = TaskResult(

@@ -18,6 +18,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.des import Engine, EventHandle
+from repro.obs.tracer import get_tracer
 from repro.staging.descriptors import TaskDescriptor
 
 
@@ -42,12 +43,18 @@ class TaskScheduler:
         self.assignments: list[AssignmentRecord] = []
         #: (time, queue length) samples taken at every scheduling event.
         self.queue_trace: list[tuple[float, int]] = []
+        self._tracer = get_tracer()
 
     # -- events -------------------------------------------------------------
 
     def data_ready(self, task: TaskDescriptor) -> None:
         """An in-situ stage published a task (descriptor insert RPC)."""
         now = self.engine.now
+        if self._tracer.enabled:
+            self._tracer.counter("sched.data_ready")
+            self._tracer.instant("sched.data_ready", lane="scheduler",
+                                 task_id=task.task_id, analysis=task.analysis,
+                                 step=task.timestep)
         if self._free_buckets:
             bucket, ev, ready_t = self._free_buckets.popleft()
             self._assign(task, now, bucket, ev, ready_t)
@@ -60,6 +67,10 @@ class TaskScheduler:
         assigned :class:`TaskDescriptor`."""
         ev = self.engine.event()
         now = self.engine.now
+        if self._tracer.enabled:
+            self._tracer.counter("sched.bucket_ready")
+            self._tracer.instant("sched.bucket_ready", lane="scheduler",
+                                 bucket=bucket)
         if self._task_queue:
             task, ready_t = self._task_queue.popleft()
             self._assign(task, ready_t, bucket, ev, now)
@@ -75,10 +86,22 @@ class TaskScheduler:
             data_ready_time=data_t, bucket_ready_time=bucket_t,
             assign_time=self.engine.now,
         ))
+        if self._tracer.enabled:
+            self._tracer.counter("sched.assign")
+            self._tracer.instant("sched.assign", lane="scheduler",
+                                 task_id=task.task_id, bucket=bucket,
+                                 queue_wait=self.engine.now - data_t)
+            self._tracer.metrics.histogram("sched.queue_wait").observe(
+                self.engine.now - data_t)
         ev.succeed(task)
 
     def _sample(self) -> None:
         self.queue_trace.append((self.engine.now, len(self._task_queue)))
+        if self._tracer.enabled:
+            self._tracer.metrics.gauge("sched.queue_depth").set(
+                len(self._task_queue))
+            self._tracer.metrics.gauge("sched.idle_buckets").set(
+                len(self._free_buckets))
 
     # -- introspection --------------------------------------------------------
 

@@ -20,6 +20,7 @@ from typing import Any
 
 from repro.des import Engine, EventHandle, Resource
 from repro.machine.gemini import GeminiNetwork
+from repro.obs.tracer import get_tracer
 from repro.transport.messages import DataDescriptor, TransferRecord
 from repro.transport.rdma import RdmaRegion, RdmaRegistry
 
@@ -35,6 +36,7 @@ class DartTransport:
         self.transfers: list[TransferRecord] = []
         self._nic_channels = nic_channels
         self._nics: dict[str, Resource] = {}
+        self._tracer = get_tracer()
 
     # -- registration ---------------------------------------------------------
 
@@ -59,6 +61,10 @@ class DartTransport:
         delivery at ``dest_node``."""
         size = nbytes if nbytes is not None else 256
         delay = self.network.transfer_time(size)
+        if self._tracer.enabled:
+            self._tracer.counter("dart.notify")
+            self._tracer.counter("dart.notify_bytes", size)
+            self._tracer.instant("dart.notify", lane=dest_node, nbytes=size)
         ev = self.engine.event()
         if on_delivery is not None:
             ev.callbacks.append(on_delivery)
@@ -93,12 +99,32 @@ class DartTransport:
         src_nic = self._nic(region.source_node)
         dst_nic = self._nic(dest_node)
         # Acquire destination first (the puller posts the Get), then source.
+        tracer = self._tracer
         yield dst_nic.acquire()
         try:
             yield src_nic.acquire()
             try:
                 wire = self.network.transfer_time(region.nbytes, protocol)
-                yield self.engine.timeout(wire)
+                if tracer.enabled:
+                    # The span covers only the wire time (NIC waits show up
+                    # as gaps); tagged for per-analysis stage totals.
+                    tags = {}
+                    if "analysis" in region.meta:
+                        tags["analysis"] = region.meta["analysis"]
+                    if "timestep" in region.meta:
+                        tags["step"] = region.meta["timestep"]
+                    with tracer.span("rdma.pull", lane=dest_node,
+                                     category="transfer", stage="movement",
+                                     protocol=protocol, nbytes=region.nbytes,
+                                     src=region.source_node, **tags):
+                        yield self.engine.timeout(wire)
+                    proto_name = getattr(protocol, "name", str(protocol))
+                    tracer.counter(f"dart.pull.{proto_name.lower()}")
+                    tracer.counter("dart.bytes_pulled", region.nbytes)
+                    tracer.metrics.histogram("dart.pull_bytes").observe(
+                        region.nbytes)
+                else:
+                    yield self.engine.timeout(wire)
             finally:
                 src_nic.release()
         finally:

@@ -13,6 +13,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs.tracer import get_tracer
 from repro.vmpi.comm import payload_bytes
 
 
@@ -35,6 +36,8 @@ class RdmaRegistry:
     def __init__(self) -> None:
         self._regions: dict[str, RdmaRegion] = {}
         self._ids = itertools.count()
+        self._tracer = get_tracer()
+        self._live_bytes = 0
 
     def __len__(self) -> int:
         return len(self._regions)
@@ -56,6 +59,11 @@ class RdmaRegistry:
         region = RdmaRegion(region_id=region_id, source_node=source_node,
                             payload=payload, nbytes=size, meta=dict(meta or {}))
         self._regions[region_id] = region
+        self._live_bytes += size
+        if self._tracer.enabled:
+            self._tracer.counter("rdma.register")
+            self._tracer.counter("rdma.registered_bytes", size)
+            self._tracer.metrics.gauge("rdma.live_bytes").set(self._live_bytes)
         return region
 
     def lookup(self, region_id: str) -> RdmaRegion:
@@ -72,6 +80,10 @@ class RdmaRegistry:
         region = self.lookup(region_id)
         region.released = True
         del self._regions[region_id]
+        self._live_bytes -= region.nbytes
+        if self._tracer.enabled:
+            self._tracer.counter("rdma.release")
+            self._tracer.metrics.gauge("rdma.live_bytes").set(self._live_bytes)
 
     def live_bytes(self, source_node: str | None = None) -> int:
         """Total registered bytes (optionally for one node) — the in-situ

@@ -2,11 +2,14 @@
 
 Renders per-actor activity spans on a character timeline — used by the
 benchmark harness to visualise bucket occupancy in the Fig.-5 schedule
-replays (which bucket held which task, when).
+replays (which bucket held which task, when). :func:`spans_from_trace`
+adapts :class:`repro.obs.Trace` span records so traced runs render the
+same way.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 
@@ -20,9 +23,37 @@ class Span:
     label: str = ""
 
     def __post_init__(self) -> None:
+        if not (math.isfinite(self.start) and math.isfinite(self.end)):
+            raise ValueError(f"span times must be finite, got "
+                             f"[{self.start}, {self.end})")
         if self.end < self.start:
             raise ValueError(f"span ends ({self.end}) before it starts "
                              f"({self.start})")
+
+
+def spans_from_trace(trace_or_spans, clock: str = "des") -> list[Span]:
+    """Adapt tracer span records to Gantt :class:`Span`s.
+
+    Accepts a :class:`repro.obs.Trace` (or any object with
+    ``closed_spans()``) or a plain iterable of closed span records; the
+    record's lane becomes the actor. ``clock`` is ``"des"``/``"trace"``
+    for the trace clock or ``"wall"`` for wall time.
+    """
+    if clock not in ("des", "trace", "wall"):
+        raise ValueError(f"clock must be 'des', 'trace' or 'wall', "
+                         f"got {clock!r}")
+    closed = getattr(trace_or_spans, "closed_spans", None)
+    records = closed() if callable(closed) else trace_or_spans
+    out = []
+    for rec in records:
+        if not rec.closed:
+            continue
+        if clock == "wall":
+            start, end = rec.wall_start, rec.wall_end
+        else:
+            start, end = rec.t_start, rec.t_end
+        out.append(Span(actor=rec.lane, start=start, end=end, label=rec.name))
+    return out
 
 
 def render_gantt(spans: list[Span], width: int = 72,
@@ -42,14 +73,17 @@ def render_gantt(spans: list[Span], width: int = 72,
         hi = lo + 1.0
     scale = width / (hi - lo)
 
-    actors = sorted({s.actor for s in spans})
+    # Group once instead of re-scanning every span per actor (the old
+    # per-actor scan made rendering quadratic in the span count).
+    by_actor: dict[str, list[Span]] = {}
+    for s in spans:
+        by_actor.setdefault(s.actor, []).append(s)
+    actors = sorted(by_actor)
     name_w = max(len(a) for a in actors)
     lines = [f"{'':{name_w}} |{lo:.1f}s{'':{max(0, width - 12)}}{hi:.1f}s"]
     for actor in actors:
         row = [" "] * width
-        for s in spans:
-            if s.actor != actor:
-                continue
+        for s in by_actor[actor]:
             a = int((s.start - lo) * scale)
             b = max(a + 1, int((s.end - lo) * scale))
             for i in range(max(a, 0), min(b, width)):

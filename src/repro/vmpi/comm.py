@@ -17,6 +17,7 @@ from typing import Any
 import numpy as np
 
 from repro.machine.gemini import GeminiNetwork
+from repro.obs.tracer import get_tracer
 from repro.vmpi import collectives as coll
 
 
@@ -49,8 +50,18 @@ class CommTracker:
 
     records: list[CommRecord] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._tracer = get_tracer()
+
     def add(self, op: str, n_ranks: int, nbytes: int, time: float) -> None:
         self.records.append(CommRecord(op, n_ranks, nbytes, time))
+        if self._tracer.enabled:
+            # Single chokepoint for every VirtualComm collective.
+            self._tracer.counter(f"vmpi.{op}")
+            self._tracer.counter("vmpi.coll_bytes", nbytes)
+            self._tracer.metrics.histogram("vmpi.coll_time").observe(time)
+            self._tracer.instant(f"vmpi.{op}", lane="vmpi", n_ranks=n_ranks,
+                                 nbytes=nbytes, modeled_time=time)
 
     @property
     def total_time(self) -> float:

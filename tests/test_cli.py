@@ -72,6 +72,36 @@ class TestCommands:
         assert rc == 1
         assert "queue grows" in capsys.readouterr().out
 
+    def test_trace_writes_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        rc = main(["trace", "--steps", "10", "--out", str(out),
+                   "--jsonl", str(jsonl)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert len(doc["traceEvents"]) > 0
+        assert jsonl.exists() and jsonl.read_text().count("\n") > 10
+        text = capsys.readouterr().out
+        assert "trace validation: ok" in text
+        assert "critical path" in text
+        assert "trace vs core.breakdown" in text
+
+    def test_trace_functional_mode(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out = tmp_path / "func.json"
+        rc = main(["trace", "--functional", "--steps", "2",
+                   "--out", str(out)])
+        assert rc == 0
+        assert validate_chrome_trace(json.loads(out.read_text())) == []
+
     def test_simulate_with_report(self, capsys):
         rc = main(["simulate", "--steps", "2", "--grid", "10", "8", "6",
                    "--ranks", "2", "1", "1", "--report"])

@@ -128,6 +128,57 @@ class TestScheduler:
             sched.data_ready(_make_task(f"t{i}"))
         assert sched.max_queue_depth() == 4
 
+    def test_queue_accounting_out_of_order_arrivals(self):
+        """pending_tasks / idle_buckets / max_queue_depth stay consistent
+        when data-ready and bucket-ready events arrive in bursts and out
+        of phase with each other."""
+        eng = Engine()
+        from repro.staging.scheduler import TaskScheduler
+        sched = TaskScheduler(eng)
+
+        # Burst of tasks before any bucket exists: the queue absorbs all.
+        for i in range(5):
+            sched.data_ready(_make_task(f"t{i}"))
+        assert sched.pending_tasks == 5
+        assert sched.idle_buckets == 0
+        assert sched.max_queue_depth() == 5
+
+        # Three late buckets each drain exactly one task.
+        for b in range(3):
+            sched.bucket_ready(f"b{b}")
+        assert sched.pending_tasks == 2
+        assert sched.idle_buckets == 0
+
+        # More buckets than remaining tasks: the excess parks as idle.
+        for b in range(3, 7):
+            sched.bucket_ready(f"b{b}")
+        assert sched.pending_tasks == 0
+        assert sched.idle_buckets == 2
+
+        # Late tasks match idle buckets directly, never touching the queue.
+        sched.data_ready(_make_task("t5"))
+        sched.data_ready(_make_task("t6"))
+        assert sched.pending_tasks == 0
+        assert sched.idle_buckets == 0
+        assert sched.max_queue_depth() == 5  # the early burst stays the peak
+        assert len(sched.assignments) == 7
+
+    def test_queue_accounting_alternating_interleave(self):
+        """Alternating singles never build a queue deeper than one."""
+        eng = Engine()
+        from repro.staging.scheduler import TaskScheduler
+        sched = TaskScheduler(eng)
+        for i in range(6):
+            if i % 2 == 0:
+                sched.data_ready(_make_task(f"t{i}"))
+            else:
+                sched.bucket_ready(f"b{i}")
+        assert sched.max_queue_depth() == 1
+        assert sched.pending_tasks + len(sched.assignments) == 3
+        for rec in sched.assignments:
+            assert rec.assign_time >= rec.data_ready_time
+            assert rec.assign_time >= rec.bucket_ready_time
+
 
 class TestDataSpacesTupleSpace:
     def setup_method(self):
