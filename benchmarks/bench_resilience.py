@@ -1,0 +1,129 @@
+"""Resilience: cost of fault recovery in the staging area (§IV).
+
+The paper's staging design assumes failures in the analytics pipeline
+must not take the simulation down. This benchmark sweeps fault pressure
+over the synthetic staging workload and measures what recovery costs:
+makespan overhead versus the fault-free baseline for pull retries with
+exponential backoff, lease-based reassignment after bucket crashes,
+supervisor restarts, and the fully-degraded in-situ fallback.
+
+Run standalone:  python benchmarks/bench_resilience.py
+"""
+
+import pytest
+
+from repro.faults import FaultConfig, run_resilience_experiment
+from repro.util import TextTable
+
+N_TASKS = 32
+N_BUCKETS = 4
+LEASE = 5.0e-3
+
+
+def scenarios():
+    return [
+        ("baseline", FaultConfig(seed=9), {}),
+        ("pull faults 10%", FaultConfig(seed=9, pull_failure_rate=0.10), {}),
+        ("pull faults 30%", FaultConfig(seed=9, pull_failure_rate=0.30), {}),
+        ("stalls 20%",
+         FaultConfig(seed=9, pull_stall_rate=0.20, pull_stall_seconds=2.0e-3),
+         {}),
+        ("crashes", FaultConfig(seed=9, crash_rate=100.0, horizon=0.06), {}),
+        ("crashes+restart",
+         FaultConfig(seed=9, crash_rate=100.0, horizon=0.06),
+         {"bucket_restart_delay": 2.0e-3, "max_bucket_restarts": 8}),
+        ("staging down",
+         FaultConfig(seed=9, crash_times=(0.001, 0.0012, 0.0014, 0.0016)),
+         {}),
+    ]
+
+
+def sweep():
+    rows = []
+    baseline = None
+    for name, cfg, extra in scenarios():
+        r = run_resilience_experiment(cfg, n_tasks=N_TASKS,
+                                      n_buckets=N_BUCKETS,
+                                      lease_timeout=LEASE, **extra)
+        if baseline is None:
+            baseline = r.makespan
+        rows.append({
+            "name": name,
+            "report": r,
+            "overhead": r.makespan / baseline - 1.0,
+        })
+    return rows
+
+
+def render(rows) -> str:
+    t = TextTable(["scenario", "crashes", "reassigned", "restarts",
+                   "fallback", "failed", "makespan (s)", "overhead"],
+                  title="Resilience: recovery cost under injected faults")
+    for row in rows:
+        r = row["report"]
+        t.add_row([row["name"], r.crashes_injected, r.reassignments,
+                   r.restarts, r.fallback_tasks, r.accounting["failed"],
+                   f"{r.makespan:.4f}", f"{row['overhead']:+.1%}"])
+    return t.render()
+
+
+def test_no_tasks_lost_under_any_scenario(bench_json_writer):
+    rows = sweep()
+    print("\n" + render(rows))
+    for row in rows:
+        r = row["report"]
+        assert r.all_accounted, f"{row['name']}: tasks lost"
+        assert r.values_ok, f"{row['name']}: wrong analysis values"
+    bench_json_writer("resilience_sweep", {
+        "name": "resilience_sweep",
+        "rows": [{"scenario": row["name"],
+                  "makespan": row["report"].makespan,
+                  "overhead": row["overhead"],
+                  "crashes": row["report"].crashes_injected,
+                  "reassignments": row["report"].reassignments,
+                  "restarts": row["report"].restarts,
+                  "fallback_tasks": row["report"].fallback_tasks,
+                  "failed": row["report"].accounting["failed"]}
+                 for row in rows],
+    })
+
+
+def test_reassignment_bounded_by_lease():
+    r = run_resilience_experiment(
+        FaultConfig(seed=9, crash_rate=100.0, horizon=0.06),
+        n_tasks=N_TASKS, n_buckets=N_BUCKETS, lease_timeout=LEASE)
+    assert r.crashes_injected > 0
+    for delay in r.recovery_delays:
+        # crash -> requeue within one lease period (plus renewal phase)
+        assert delay <= 2 * LEASE + 1e-12
+
+
+def test_determinism_same_seed_same_outcome():
+    cfg = FaultConfig(seed=9, crash_rate=100.0, horizon=0.06,
+                      pull_failure_rate=0.15)
+    a = run_resilience_experiment(cfg, n_tasks=N_TASKS, n_buckets=N_BUCKETS)
+    b = run_resilience_experiment(cfg, n_tasks=N_TASKS, n_buckets=N_BUCKETS)
+    assert a.makespan == b.makespan
+    assert a.crashes_injected == b.crashes_injected
+    assert a.pull_failures_injected == b.pull_failures_injected
+    assert a.reassignments == b.reassignments
+    assert a.accounting == b.accounting
+
+
+def test_resilience_experiment_benchmark(benchmark):
+    cfg = FaultConfig(seed=9, pull_failure_rate=0.10)
+    r = benchmark(run_resilience_experiment, cfg,
+                  n_tasks=16, n_buckets=N_BUCKETS)
+    assert r.all_accounted
+
+
+@pytest.mark.parametrize("rate", [0.0, 0.3])
+def test_pull_fault_overhead_is_finite(rate):
+    cfg = (FaultConfig(seed=9, pull_failure_rate=rate) if rate
+           else FaultConfig(seed=9))
+    r = run_resilience_experiment(cfg, n_tasks=N_TASKS, n_buckets=N_BUCKETS)
+    assert r.all_accounted and r.values_ok
+
+
+if __name__ == "__main__":
+    print(render(sweep()))

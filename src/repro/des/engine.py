@@ -28,19 +28,32 @@ class EventHandle:
     An event is *triggered* at most once with an optional value; every
     process waiting on it is resumed at the engine's current time (or at the
     trigger time if scheduled via :meth:`Engine.schedule_event`).
+
+    An untriggered event can be *cancelled*: a later ``succeed`` becomes a
+    silent no-op. This is what makes timeouts revocable — a lease or
+    watchdog timeout racing a completion cancels the loser instead of
+    raising on the second trigger.
     """
 
-    __slots__ = ("engine", "triggered", "value", "_waiters", "callbacks")
+    __slots__ = ("engine", "triggered", "cancelled", "value", "_waiters",
+                 "callbacks")
 
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
         self.triggered = False
+        self.cancelled = False
         self.value: Any = None
         self._waiters: list[ProcessHandle] = []
         self.callbacks: list[Callable[[Any], None]] = []
 
     def succeed(self, value: Any = None) -> "EventHandle":
-        """Trigger the event now, resuming all waiters."""
+        """Trigger the event now, resuming all waiters.
+
+        A cancelled event absorbs the trigger silently; triggering an
+        already-triggered (and not cancelled) event is still an error.
+        """
+        if self.cancelled:
+            return self
         if self.triggered:
             raise RuntimeError("event already triggered")
         self.triggered = True
@@ -54,6 +67,20 @@ class EventHandle:
         for proc in waiters:
             self.engine._schedule(0.0, proc._resume, value)
         return self
+
+    def cancel(self) -> bool:
+        """Revoke an untriggered event; returns whether it was revoked.
+
+        After cancellation a pending ``succeed`` (e.g. a scheduled timeout
+        firing) is ignored. Cancelling an already-triggered event is a
+        no-op returning ``False`` — the race was lost, nothing to revoke.
+        """
+        if self.triggered:
+            return False
+        if not self.cancelled:
+            self.cancelled = True
+            self._waiters.clear()
+        return True
 
     def _add_waiter(self, proc: "ProcessHandle") -> None:
         if self.triggered:
@@ -170,6 +197,36 @@ class Engine:
     def schedule_event(self, ev: EventHandle, delay: float, value: Any = None) -> None:
         """Trigger an existing event ``delay`` seconds from now."""
         self._schedule(delay, ev.succeed, value)
+
+    def any_of(self, *events: EventHandle) -> EventHandle:
+        """Race several events: an event triggering with ``(index, value)``
+        of the first to fire.
+
+        Later finishers are absorbed (their callbacks find the race already
+        decided), so a timeout racing a completion is safe to express::
+
+            winner, value = yield engine.any_of(done, engine.timeout(lease))
+            if winner == 1:  # lease expired first
+                ...
+
+        Events already triggered when the race is built win immediately, in
+        argument order.
+        """
+        if not events:
+            raise ValueError("any_of needs at least one event")
+        race = EventHandle(self)
+
+        def settle(index: int, value: Any) -> None:
+            if not race.triggered and not race.cancelled:
+                race.succeed((index, value))
+
+        for i, ev in enumerate(events):
+            if ev.triggered:
+                settle(i, ev.value)
+            else:
+                ev.callbacks.append(
+                    lambda value, i=i: settle(i, value))
+        return race
 
     def process(self, generator: Generator, name: str = "") -> ProcessHandle:
         """Register and start a generator process at the current time."""

@@ -81,10 +81,32 @@ class Resource:
         return ev
 
     def release(self) -> None:
-        """Return a unit of capacity; hands it to the oldest waiter if any."""
+        """Return a unit of capacity; hands it to the oldest waiter if any.
+
+        Cancelled (withdrawn) acquire requests are skipped — a process
+        that died while queueing must not swallow the unit.
+        """
         if self.in_use <= 0:
             raise RuntimeError(f"release() on idle resource {self.name!r}")
-        if self._waiters:
-            self._waiters.popleft().succeed(self)
-        else:
-            self.in_use -= 1
+        while self._waiters:
+            ev = self._waiters.popleft()
+            if ev.cancelled:
+                continue
+            ev.succeed(self)
+            return
+        self.in_use -= 1
+
+    def cancel(self, grant: EventHandle) -> None:
+        """Withdraw an acquire request (the requester is aborting).
+
+        If the grant already landed, the unit is returned to the pool;
+        otherwise the queued request is revoked so a later ``release``
+        cannot hand capacity to a dead process.
+        """
+        if grant.triggered:
+            self.release()
+        elif grant.cancel():
+            try:
+                self._waiters.remove(grant)
+            except ValueError:
+                pass

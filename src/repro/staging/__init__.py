@@ -15,16 +15,22 @@ Components mirror Fig. 5 of the paper:
 """
 
 from repro.staging.hashing import ServiceRing
-from repro.staging.descriptors import TaskDescriptor, TaskResult
-from repro.staging.scheduler import AssignmentRecord, TaskScheduler
+from repro.staging.descriptors import SHUTDOWN_TASK_ID, TaskDescriptor, TaskResult
+from repro.staging.scheduler import (
+    AssignmentRecord,
+    ReassignmentRecord,
+    TaskScheduler,
+)
 from repro.staging.buckets import StagingBucket
 from repro.staging.dataspaces import DataSpaces
 
 __all__ = [
     "ServiceRing",
+    "SHUTDOWN_TASK_ID",
     "TaskDescriptor",
     "TaskResult",
     "AssignmentRecord",
+    "ReassignmentRecord",
     "TaskScheduler",
     "StagingBucket",
     "DataSpaces",

@@ -22,9 +22,10 @@ from typing import Any
 import numpy as np
 
 from repro.costmodel.models import CostModel
-from repro.des import Engine
+from repro.des import Engine, ProcessHandle
+from repro.obs.tracer import get_tracer
 from repro.staging.buckets import StagingBucket
-from repro.staging.descriptors import TaskDescriptor
+from repro.staging.descriptors import TaskDescriptor, TaskResult
 from repro.staging.hashing import ServiceRing
 from repro.staging.scheduler import TaskScheduler
 from repro.transport.dart import DartTransport
@@ -66,19 +67,39 @@ class _StoredObject:
 
 
 class DataSpaces:
-    """Shared space + in-transit workflow coordinator."""
+    """Shared space + in-transit workflow coordinator.
+
+    Fault tolerance knobs (all off by default, preserving the happy-path
+    configuration):
+
+    * ``lease_timeout`` — per-assignment leases in the scheduler; a task
+      held by a crashed bucket is requeued within one lease period;
+    * ``bucket_restart_delay`` / ``max_bucket_restarts`` — the bucket
+      supervisor: crashed staging cores are replaced after the delay,
+      keeping the pool at its configured size, up to the restart budget;
+    * ``insitu_fallback`` — when the staging area is *fully* down (every
+      bucket dead, no restart pending), queued and future tasks run
+      in-situ at the cost model's in-situ price instead of hanging.
+    """
 
     def __init__(self, engine: Engine, transport: DartTransport,
                  n_servers: int = 4, cost_model: CostModel | None = None,
-                 rpc_latency: float = 2.0e-5) -> None:
+                 rpc_latency: float = 2.0e-5,
+                 lease_timeout: float | None = None,
+                 bucket_restart_delay: float | None = None,
+                 max_bucket_restarts: int = 0,
+                 insitu_fallback: bool = True) -> None:
         if n_servers < 1:
             raise ValueError(f"n_servers must be >= 1, got {n_servers}")
+        if max_bucket_restarts < 0:
+            raise ValueError(
+                f"max_bucket_restarts must be >= 0, got {max_bucket_restarts}")
         self.engine = engine
         self.transport = transport
         self.ring = ServiceRing(n_servers)
         self.cost_model = cost_model
         self.rpc_latency = rpc_latency
-        self.scheduler = TaskScheduler(engine)
+        self.scheduler = TaskScheduler(engine, lease_timeout=lease_timeout)
         self.buckets: list[StagingBucket] = []
         self._store: dict[tuple[str, int], list[_StoredObject]] = {}
         self._task_ids = itertools.count()
@@ -86,6 +107,24 @@ class DataSpaces:
         self.server_rpc_counts: list[int] = [0] * n_servers
         self._outstanding = 0
         self._drain_events: list[Any] = []
+        # -- fault tolerance state --
+        self.bucket_restart_delay = bucket_restart_delay
+        self.max_bucket_restarts = max_bucket_restarts
+        self.insitu_fallback = insitu_fallback
+        self.degraded = False
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.restarts_used = 0
+        self._pending_restarts = 0
+        self._restart_ids = itertools.count(1)
+        self._shutting_down = False
+        self._bucket_procs: dict[str, ProcessHandle] = {}
+        #: Results produced by the degraded-mode in-situ fallback.
+        self.fallback_results: list[TaskResult] = []
+        #: Task ids that failed terminally in the fallback path.
+        self.fallback_failures: list[str] = []
+        self._tracer = get_tracer()
 
     # -- tuple space --------------------------------------------------------
 
@@ -203,6 +242,8 @@ class DataSpaces:
                              cost_elements: int = 0,
                              task_key: str | None = None,
                              meta: dict[str, Any] | None = None,
+                             max_retries: int = 0,
+                             insitu_cost_op: str | None = None,
                              ) -> DataDescriptor:
         """Register an in-situ result and raise the *data-ready* event.
 
@@ -220,9 +261,11 @@ class DataSpaces:
             task_id=task_key or f"{analysis}/t{timestep}/#{next(self._task_ids)}",
             analysis=analysis, timestep=timestep, data=[desc],
             compute=compute, cost_op=cost_op, cost_elements=cost_elements,
+            max_retries=max_retries, insitu_cost_op=insitu_cost_op,
         )
         self._rpc(task.task_id)
         self._outstanding += 1
+        self.submitted += 1
         self.transport.notify("scheduler", task,
                               nbytes=desc.descriptor_bytes(),
                               on_delivery=self.scheduler.data_ready)
@@ -236,6 +279,8 @@ class DataSpaces:
                               stream_compute: Callable[[Any, Any], Any] | None = None,
                               stream_finalize: Callable[[Any], Any] | None = None,
                               stream_cost_per_payload: float = 0.0,
+                              max_retries: int = 0,
+                              insitu_cost_op: str | None = None,
                               ) -> TaskDescriptor:
         """Create one in-transit task consuming many registered regions.
 
@@ -251,9 +296,11 @@ class DataSpaces:
             compute=compute, cost_op=cost_op, cost_elements=cost_elements,
             stream_compute=stream_compute, stream_finalize=stream_finalize,
             stream_cost_per_payload=stream_cost_per_payload,
+            max_retries=max_retries, insitu_cost_op=insitu_cost_op,
         )
         self._rpc(task.task_id)
         self._outstanding += 1
+        self.submitted += 1
         self.transport.notify("scheduler", task, nbytes=512,
                               on_delivery=self.scheduler.data_ready)
         return task
@@ -263,20 +310,173 @@ class DataSpaces:
     def spawn_buckets(self, names: Sequence[str]) -> list[StagingBucket]:
         """Create and start one bucket process per staging core name."""
         for name in names:
-            bucket = StagingBucket(name, self.engine, self.scheduler,
-                                   self.transport, self.cost_model,
-                                   rpc_latency=self.rpc_latency,
-                                   on_task_done=self._on_task_done)
-            self.buckets.append(bucket)
-            self.engine.process(bucket.run(), name=f"bucket:{name}")
+            self._spawn_bucket(name)
         return self.buckets
 
-    def _on_task_done(self, _result: Any) -> None:
+    def _spawn_bucket(self, name: str) -> StagingBucket:
+        bucket = StagingBucket(name, self.engine, self.scheduler,
+                               self.transport, self.cost_model,
+                               rpc_latency=self.rpc_latency,
+                               on_task_done=self._on_task_done,
+                               on_death=self._on_bucket_death)
+        self.buckets.append(bucket)
+        self._bucket_procs[name] = self.engine.process(
+            bucket.run(), name=f"bucket:{name}")
+        return bucket
+
+    def live_buckets(self) -> int:
+        """Number of staging cores currently alive."""
+        return sum(1 for b in self.buckets if not b.dead)
+
+    def crash_bucket(self, name: str, cause: Any = "injected crash") -> None:
+        """Kill a staging core: its worker process sees an Interrupt.
+
+        Recovery of any in-flight task relies on scheduler leases
+        (``lease_timeout``); the supervisor replaces the bucket if a
+        restart budget is configured, or degrades to in-situ execution
+        when the whole staging area is down.
+        """
+        proc = self._bucket_procs.get(name)
+        if proc is None:
+            raise KeyError(f"no bucket named {name!r}")
+        if proc.finished:
+            return  # already dead or shut down
+        proc.interrupt(cause)
+
+    def _on_bucket_death(self, bucket: StagingBucket, cause: Any) -> None:
+        self.scheduler.mark_bucket_dead(bucket.name)
+        if self._tracer.enabled:
+            self._tracer.counter("dataspaces.bucket_deaths")
+        if self._shutting_down or self.degraded:
+            return
+        if (self.bucket_restart_delay is not None
+                and self.restarts_used < self.max_bucket_restarts):
+            self.restarts_used += 1
+            self._pending_restarts += 1
+            replacement = f"{bucket.name}~r{next(self._restart_ids)}"
+            if self._tracer.enabled:
+                self._tracer.counter("dataspaces.bucket_restarts")
+                self._tracer.instant("dataspaces.bucket_restart",
+                                     lane="dataspaces", dead=bucket.name,
+                                     replacement=replacement)
+
+            def restart() -> None:
+                self._pending_restarts -= 1
+                if not self._shutting_down and not self.degraded:
+                    self._spawn_bucket(replacement)
+
+            self.engine.call_at(self.engine.now + self.bucket_restart_delay,
+                                restart)
+        elif (self.live_buckets() == 0 and self._pending_restarts == 0
+                and self.insitu_fallback):
+            self._enter_degraded_mode()
+
+    # -- degraded mode: staging fully down -----------------------------------
+
+    def _enter_degraded_mode(self) -> None:
+        """Staging area fully down: run in-transit tasks in-situ.
+
+        Queued tasks are stolen from the scheduler and every future
+        data-ready (including lease reassignments from the dead pool) is
+        routed to the fallback, so ``drained()`` still fires and no task
+        is silently lost.
+        """
+        self.degraded = True
+        if self._tracer.enabled:
+            self._tracer.counter("dataspaces.degraded")
+            self._tracer.instant("dataspaces.degraded", lane="dataspaces")
+        self.scheduler.task_sink = self._fallback_submit
+        for task in self.scheduler.steal_queue():
+            self._fallback_submit(task)
+
+    def _fallback_submit(self, task: TaskDescriptor) -> None:
+        if task.task_id == StagingBucket.SHUTDOWN.task_id:
+            return  # no buckets left to stop
+        self.engine.process(self._run_insitu_fallback(task),
+                            name=f"fallback:{task.task_id}")
+
+    def _run_insitu_fallback(self, task: TaskDescriptor):
+        """DES process: execute one task in-situ (no staging, no RDMA).
+
+        The data never moves — the computation runs where it was produced,
+        charged at the cost model's in-situ price (``insitu_cost_op``,
+        falling back to ``cost_op``).
+        """
+        start = self.engine.now
+        try:
+            payloads = [self.transport.registry.lookup(d.region_id).payload
+                        for d in task.data]
+            if task.stream_compute is not None:
+                state: Any = None
+                for payload in payloads:
+                    state = task.stream_compute(state, payload)
+                    if task.stream_cost_per_payload:
+                        yield self.engine.timeout(task.stream_cost_per_payload)
+                value = (task.stream_finalize(state)
+                         if task.stream_finalize is not None else state)
+            else:
+                value = (task.compute(payloads)
+                         if task.compute is not None else None)
+            op = task.insitu_cost_op or task.cost_op
+            if op is not None and self.cost_model is not None:
+                yield self.engine.timeout(
+                    self.cost_model.time(op, task.cost_elements))
+        except Exception as exc:  # noqa: BLE001 — fault isolation boundary
+            self._release_task_regions(task)
+            self.fallback_failures.append(task.task_id)
+            if self._tracer.enabled:
+                self._tracer.counter("dataspaces.fallback_failures")
+                self._tracer.instant("dataspaces.fallback_failure",
+                                     lane="dataspaces", task_id=task.task_id,
+                                     error=repr(exc))
+            self._on_task_done(None)
+            return
+        self._release_task_regions(task)
+        result = TaskResult(
+            task_id=task.task_id, analysis=task.analysis,
+            timestep=task.timestep, bucket="insitu-fallback", value=value,
+            enqueue_time=start, assign_time=start, pull_done_time=start,
+            finish_time=self.engine.now, bytes_pulled=0,
+        )
+        self.fallback_results.append(result)
+        if self._tracer.enabled:
+            self._tracer.counter("dataspaces.fallback_tasks")
+        self._on_task_done(result)
+
+    def _release_task_regions(self, task: TaskDescriptor) -> None:
+        registry = self.transport.registry
+        for desc in task.data:
+            if desc.region_id in registry:
+                self.transport.release(desc)
+
+    # -- drain accounting -----------------------------------------------------
+
+    def _on_task_done(self, result: Any) -> None:
+        if result is None:
+            self.failed += 1
+        else:
+            self.completed += 1
         self._outstanding -= 1
         if self._outstanding == 0:
             events, self._drain_events = self._drain_events, []
             for ev in events:
                 ev.succeed(None)
+
+    def task_accounting(self) -> dict[str, int]:
+        """Exact task ledger: every submitted task is completed, failed,
+        or still outstanding — nothing is silently lost."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "outstanding": self._outstanding,
+        }
+
+    def failed_task_ids(self) -> list[str]:
+        """Ids of terminally failed tasks (buckets + fallback)."""
+        out = [tid for b in self.buckets for tid in b.terminal_failures]
+        out.extend(self.fallback_failures)
+        return out
 
     def drained(self):
         """Event triggering once every submitted task has completed."""
@@ -296,13 +496,17 @@ class DataSpaces:
         """
         def drain_then_shutdown():
             yield self.drained()
-            for _ in self.buckets:
-                self.scheduler.data_ready(StagingBucket.SHUTDOWN)
+            self._shutting_down = True
+            for bucket in self.buckets:
+                if not bucket.dead:
+                    self.scheduler.data_ready(StagingBucket.SHUTDOWN)
 
         self.engine.process(drain_then_shutdown(), name="shutdown")
 
     def all_results(self) -> list:
-        """All completed in-transit task results across buckets, by finish time."""
+        """All completed in-transit task results (buckets + degraded-mode
+        fallback), by finish time."""
         out = [r for b in self.buckets for r in b.results]
+        out.extend(self.fallback_results)
         out.sort(key=lambda r: r.finish_time)
         return out

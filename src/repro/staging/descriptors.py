@@ -8,6 +8,10 @@ from typing import Any
 
 from repro.transport.messages import DataDescriptor
 
+#: Task id of the bucket shutdown sentinel (see ``StagingBucket.SHUTDOWN``).
+#: The scheduler never leases it and the degraded-mode fallback ignores it.
+SHUTDOWN_TASK_ID = "__shutdown__"
+
 
 @dataclass
 class TaskDescriptor:
@@ -36,9 +40,16 @@ class TaskDescriptor:
     stream_finalize: Callable[[Any], Any] | None = None
     #: Modeled seconds of in-transit compute charged per streamed payload.
     stream_cost_per_payload: float = 0.0
-    #: Buffered tasks whose compute raises are requeued up to this many
-    #: times (on other buckets, FCFS); 0 = fail fast.
+    #: Tasks whose attempt fails (pull or compute) are requeued up to this
+    #: many times through the FCFS scheduler; 0 = fail terminally on the
+    #: first error. Note FCFS gives no placement guarantee — a retried
+    #: task can land straight back on the bucket it just failed on if that
+    #: bucket is the first to announce readiness.
     max_retries: int = 0
+    #: Cost-model op charged when the task is executed *in-situ* by the
+    #: degraded-mode fallback (staging area fully down); ``None`` falls
+    #: back to ``cost_op`` — the in-situ price of the same computation.
+    insitu_cost_op: str | None = None
     meta: dict[str, Any] = field(default_factory=dict)
     #: Mutable retry counter (managed by the buckets).
     attempts: int = 0

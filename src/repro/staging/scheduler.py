@@ -10,16 +10,34 @@ Two event kinds drive scheduling, exactly as in Fig. 5:
   free-bucket list.
 
 Assignments are recorded for the Fig.-5 validation benchmark.
+
+Fault tolerance (lease-based recovery): when the scheduler is built with a
+``lease_timeout``, every assignment carries a lease. A healthy bucket
+implicitly renews it; if the bucket is marked dead (crash detected by the
+fault layer) the lease expires and the task is requeued FCFS onto a
+surviving bucket. Buckets acknowledge completion/terminal failure/retry
+via :meth:`TaskScheduler.task_done`, which revokes the live lease.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from collections import deque
 from dataclasses import dataclass
 
 from repro.des import Engine, EventHandle
 from repro.obs.tracer import get_tracer
-from repro.staging.descriptors import TaskDescriptor
+from repro.staging.descriptors import SHUTDOWN_TASK_ID, TaskDescriptor
+
+
+@dataclass
+class ReassignmentRecord:
+    """One lease-expiry recovery: a task pulled back from a dead bucket."""
+
+    task_id: str
+    dead_bucket: str
+    assign_time: float
+    requeue_time: float
 
 
 @dataclass
@@ -36,13 +54,26 @@ class AssignmentRecord:
 class TaskScheduler:
     """FCFS matching of tasks to buckets over the DES engine."""
 
-    def __init__(self, engine: Engine) -> None:
+    def __init__(self, engine: Engine,
+                 lease_timeout: float | None = None) -> None:
+        if lease_timeout is not None and lease_timeout <= 0:
+            raise ValueError(
+                f"lease_timeout must be > 0 or None, got {lease_timeout}")
         self.engine = engine
+        self.lease_timeout = lease_timeout
         self._task_queue: deque[tuple[TaskDescriptor, float]] = deque()
         self._free_buckets: deque[tuple[str, EventHandle, float]] = deque()
         self.assignments: list[AssignmentRecord] = []
+        #: Lease-expiry recoveries, in requeue order.
+        self.reassignments: list[ReassignmentRecord] = []
         #: (time, queue length) samples taken at every scheduling event.
         self.queue_trace: list[tuple[float, int]] = []
+        self._leases: dict[str, EventHandle] = {}
+        self._dead_buckets: set[str] = set()
+        #: Degraded-mode redirect: when set, data-ready tasks bypass the
+        #: queue and are handed to this callable (the staging area is gone
+        #: and DataSpaces runs tasks in-situ instead).
+        self.task_sink: Callable[[TaskDescriptor], None] | None = None
         self._tracer = get_tracer()
 
     # -- events -------------------------------------------------------------
@@ -55,9 +86,16 @@ class TaskScheduler:
             self._tracer.instant("sched.data_ready", lane="scheduler",
                                  task_id=task.task_id, analysis=task.analysis,
                                  step=task.timestep)
-        if self._free_buckets:
+        if self.task_sink is not None:
+            self.task_sink(task)
+            self._sample()
+            return
+        while self._free_buckets:
             bucket, ev, ready_t = self._free_buckets.popleft()
+            if bucket in self._dead_buckets:
+                continue  # drop the corpse's pending bucket-ready entry
             self._assign(task, now, bucket, ev, ready_t)
+            break
         else:
             self._task_queue.append((task, now))
         self._sample()
@@ -94,6 +132,63 @@ class TaskScheduler:
             self._tracer.metrics.histogram("sched.queue_wait").observe(
                 self.engine.now - data_t)
         ev.succeed(task)
+        if (self.lease_timeout is not None
+                and task.task_id != SHUTDOWN_TASK_ID):
+            self._start_lease(task, bucket)
+
+    # -- leases ---------------------------------------------------------------
+
+    def _start_lease(self, task: TaskDescriptor, bucket: str) -> None:
+        assign_t = self.engine.now
+        lease = self.engine.timeout(self.lease_timeout)
+        self._leases[task.task_id] = lease
+
+        def on_expiry(_value: object) -> None:
+            if self._leases.get(task.task_id) is not lease:
+                return  # superseded by a newer assignment
+            del self._leases[task.task_id]
+            if bucket in self._dead_buckets:
+                self.reassignments.append(ReassignmentRecord(
+                    task_id=task.task_id, dead_bucket=bucket,
+                    assign_time=assign_t, requeue_time=self.engine.now))
+                if self._tracer.enabled:
+                    self._tracer.counter("sched.lease_reassign")
+                    self._tracer.instant("sched.lease_reassign",
+                                         lane="scheduler",
+                                         task_id=task.task_id, bucket=bucket)
+                    self._tracer.metrics.histogram(
+                        "sched.lease_detect_delay").observe(
+                        self.engine.now - assign_t)
+                self.data_ready(task)
+            else:
+                # The holder is alive and still working — renew the lease,
+                # modelling the keepalive a healthy bucket sends.
+                self._start_lease(task, bucket)
+
+        lease.callbacks.append(on_expiry)
+
+    def task_done(self, task_id: str) -> None:
+        """Acknowledge a task outcome (success, terminal failure, or a
+        bucket-initiated retry requeue): revokes the live lease."""
+        lease = self._leases.pop(task_id, None)
+        if lease is not None:
+            lease.cancel()
+
+    def mark_bucket_dead(self, bucket: str) -> None:
+        """Record a staging-core death; its free-list entry (if any) is
+        skipped and any lease it holds will expire into a reassignment."""
+        self._dead_buckets.add(bucket)
+        if self._tracer.enabled:
+            self._tracer.counter("sched.bucket_dead")
+            self._tracer.instant("sched.bucket_dead", lane="scheduler",
+                                 bucket=bucket)
+
+    def steal_queue(self) -> list[TaskDescriptor]:
+        """Drain and return every queued task (degraded-mode takeover)."""
+        tasks = [task for task, _t in self._task_queue]
+        self._task_queue.clear()
+        self._sample()
+        return tasks
 
     def _sample(self) -> None:
         self.queue_trace.append((self.engine.now, len(self._task_queue)))

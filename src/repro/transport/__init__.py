@@ -19,7 +19,7 @@ serialisation so concurrent pulls into one staging node queue realistically.
 
 from repro.transport.messages import DataDescriptor, TransferRecord
 from repro.transport.rdma import RdmaRegion, RdmaRegistry
-from repro.transport.dart import DartTransport
+from repro.transport.dart import DartTransport, PullFault
 
 __all__ = [
     "DataDescriptor",
@@ -27,4 +27,5 @@ __all__ = [
     "RdmaRegion",
     "RdmaRegistry",
     "DartTransport",
+    "PullFault",
 ]

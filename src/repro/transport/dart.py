@@ -25,11 +25,24 @@ from repro.transport.messages import DataDescriptor, TransferRecord
 from repro.transport.rdma import RdmaRegion, RdmaRegistry
 
 
+class PullFault(Exception):
+    """A transient RDMA Get failure (NIC error, staging-node hiccup).
+
+    Raised by the pull fault hook; :meth:`DartTransport.pull` retries with
+    exponential backoff up to ``pull_max_attempts`` before re-raising.
+    """
+
+
 class DartTransport:
     """Asynchronous transport between named nodes on one DES engine."""
 
     def __init__(self, engine: Engine, network: GeminiNetwork | None = None,
-                 nic_channels: int = 1) -> None:
+                 nic_channels: int = 1, pull_max_attempts: int = 1,
+                 pull_backoff_base: float = 1.0e-4,
+                 pull_backoff_factor: float = 2.0) -> None:
+        if pull_max_attempts < 1:
+            raise ValueError(
+                f"pull_max_attempts must be >= 1, got {pull_max_attempts}")
         self.engine = engine
         self.network = network or GeminiNetwork()
         self.registry = RdmaRegistry()
@@ -37,6 +50,15 @@ class DartTransport:
         self._nic_channels = nic_channels
         self._nics: dict[str, Resource] = {}
         self._tracer = get_tracer()
+        self.pull_max_attempts = pull_max_attempts
+        self.pull_backoff_base = pull_backoff_base
+        self.pull_backoff_factor = pull_backoff_factor
+        #: Fault-injection hook called per pull attempt with
+        #: ``(descriptor, dest_node, attempt)``; returns extra stall
+        #: seconds (0.0 = none) or raises :class:`PullFault` to fail the
+        #: attempt. Installed by :class:`repro.faults.FaultInjector`.
+        self.pull_fault_hook: Callable[
+            [DataDescriptor, str, int], float] | None = None
 
     # -- registration ---------------------------------------------------------
 
@@ -91,20 +113,76 @@ class DartTransport:
         :class:`TransferRecord`; optionally releases the region (the
         common case — the producer's scratch buffer is freed as soon as
         the staging area holds the data).
+
+        Transient :class:`PullFault` attempts (raised by the fault hook)
+        are retried with exponential backoff up to ``pull_max_attempts``;
+        the last failure re-raises to the caller. Lookup errors (pulling a
+        released or unknown region) are permanent and never retried.
         """
+        attempt = 1
+        while True:
+            try:
+                payload = yield from self._pull_attempt(descriptor, dest_node,
+                                                        attempt)
+                break
+            except PullFault:
+                if self._tracer.enabled:
+                    self._tracer.counter("dart.pull_faults")
+                if attempt >= self.pull_max_attempts:
+                    if self._tracer.enabled:
+                        self._tracer.counter("dart.pull_exhausted")
+                        self._tracer.instant("dart.pull_exhausted",
+                                             lane=dest_node,
+                                             region=descriptor.region_id,
+                                             attempts=attempt)
+                    raise
+                delay = (self.pull_backoff_base
+                         * self.pull_backoff_factor ** (attempt - 1))
+                if self._tracer.enabled:
+                    self._tracer.counter("dart.pull_retries")
+                    self._tracer.instant("dart.pull_retry", lane=dest_node,
+                                         region=descriptor.region_id,
+                                         attempt=attempt, backoff=delay)
+                yield self.engine.timeout(delay)
+                attempt += 1
+        if release:
+            self.registry.release(descriptor.region_id)
+        return payload
+
+    def _pull_attempt(self, descriptor: DataDescriptor, dest_node: str,
+                      attempt: int) -> Generator[Any, Any, Any]:
+        """One RDMA-Get attempt (no release; see :meth:`pull`)."""
         region: RdmaRegion = self.registry.lookup(descriptor.region_id)
+        stall = 0.0
+        if self.pull_fault_hook is not None:
+            stall = self.pull_fault_hook(descriptor, dest_node, attempt)
         protocol = self.network.select_protocol(region.nbytes)
         start = self.engine.now
 
         src_nic = self._nic(region.source_node)
         dst_nic = self._nic(dest_node)
         # Acquire destination first (the puller posts the Get), then source.
+        # Withdraw a pending request if the puller dies while queueing — a
+        # crashed bucket must not leak NIC capacity.
         tracer = self._tracer
-        yield dst_nic.acquire()
+        dst_grant = dst_nic.acquire()
         try:
-            yield src_nic.acquire()
+            yield dst_grant
+        except BaseException:
+            dst_nic.cancel(dst_grant)
+            raise
+        try:
+            src_grant = src_nic.acquire()
             try:
-                wire = self.network.transfer_time(region.nbytes, protocol)
+                yield src_grant
+            except BaseException:
+                src_nic.cancel(src_grant)
+                raise
+            try:
+                wire = self.network.transfer_time(region.nbytes, protocol) + stall
+                if stall and tracer.enabled:
+                    tracer.counter("dart.pull_stalls")
+                    tracer.counter("dart.pull_stall_seconds", stall)
                 if tracer.enabled:
                     # The span covers only the wire time (NIC waits show up
                     # as gaps); tagged for per-analysis stage totals.
@@ -140,11 +218,8 @@ class DartTransport:
             end_time=self.engine.now,
         )
         self.transfers.append(record)
-        payload = region.payload
         region.pull_count += 1
-        if release:
-            self.registry.release(descriptor.region_id)
-        return payload
+        return region.payload
 
     # -- tracing -------------------------------------------------------------------
 

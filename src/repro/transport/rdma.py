@@ -42,6 +42,9 @@ class RdmaRegistry:
     def __len__(self) -> int:
         return len(self._regions)
 
+    def __contains__(self, region_id: str) -> bool:
+        return region_id in self._regions
+
     def register(self, source_node: str, payload: Any,
                  meta: dict[str, Any] | None = None,
                  nbytes: int | None = None) -> RdmaRegion:

@@ -275,3 +275,161 @@ class TestResource:
         eng = Engine()
         with pytest.raises(ValueError):
             Resource(eng, capacity=0)
+
+
+class TestEventCancel:
+    def test_cancelled_event_ignores_succeed(self):
+        eng = Engine()
+        ev = eng.event()
+        assert ev.cancel() is True
+        ev.succeed("late")  # silent no-op
+        assert not ev.triggered
+        assert ev.cancelled
+
+    def test_cancel_after_trigger_returns_false(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed(1)
+        assert ev.cancel() is False
+        assert ev.triggered
+
+    def test_cancelled_timeout_never_resumes_waiter(self):
+        eng = Engine()
+        fired = []
+
+        def proc():
+            t = eng.timeout(1.0)
+            eng.call_at(0.5, lambda: t.cancel())
+            got = yield eng.any_of(t, eng.timeout(3.0))
+            fired.append((eng.now, got))
+
+        eng.process(proc())
+        eng.run()
+        # the cancelled 1.0 s timeout lost; the 3.0 s one won the race
+        assert fired == [(3.0, (1, None))]
+
+    def test_double_trigger_still_raises(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed(1)
+        with pytest.raises(RuntimeError):
+            ev.succeed(2)
+
+
+class TestAnyOf:
+    def test_first_event_wins(self):
+        eng = Engine()
+        got = []
+
+        def proc():
+            result = yield eng.any_of(eng.timeout(2.0), eng.timeout(1.0))
+            got.append((eng.now, result))
+
+        eng.process(proc())
+        eng.run()
+        assert got == [(1.0, (1, None))]
+
+    def test_winner_value_propagates(self):
+        eng = Engine()
+        ev = eng.event()
+        eng.call_at(0.5, lambda: ev.succeed("payload"))
+        got = []
+
+        def proc():
+            result = yield eng.any_of(eng.timeout(2.0), ev)
+            got.append(result)
+
+        eng.process(proc())
+        eng.run()
+        assert got == [(1, "payload")]
+
+    def test_already_triggered_event_wins_immediately(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed("now")
+        got = []
+
+        def proc():
+            result = yield eng.any_of(eng.timeout(5.0), ev)
+            got.append((eng.now, result))
+
+        eng.process(proc())
+        eng.run()
+        assert got == [(0.0, (1, "now"))]
+
+    def test_losers_do_not_retrigger_race(self):
+        eng = Engine()
+        got = []
+
+        def proc():
+            result = yield eng.any_of(eng.timeout(1.0), eng.timeout(2.0))
+            got.append(result)
+            yield eng.timeout(5.0)  # outlive the losing timeout
+
+        eng.process(proc())
+        eng.run()
+        assert got == [(0, None)]
+
+    def test_empty_any_of_raises(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            eng.any_of()
+
+
+class TestResourceCancel:
+    def test_cancel_queued_request_lets_next_waiter_in(self):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+        order = []
+
+        def holder():
+            yield res.acquire()
+            yield eng.timeout(2.0)
+            res.release()
+
+        def quitter():
+            grant = res.acquire()
+            timeout = eng.timeout(1.0)
+            idx, _ = yield eng.any_of(grant, timeout)
+            if idx == 1:  # gave up waiting
+                res.cancel(grant)
+                order.append(("quit", eng.now))
+
+        def patient():
+            yield res.acquire()
+            order.append(("got-it", eng.now))
+            res.release()
+
+        eng.process(holder())
+        eng.process(quitter())
+        eng.process(patient())
+        eng.run()
+        # quitter's abandoned slot was skipped; patient got the unit
+        assert order == [("quit", 1.0), ("got-it", 2.0)]
+        assert res.in_use == 0
+
+    def test_cancel_granted_request_returns_unit(self):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+        grant = res.acquire()
+
+        def proc():
+            yield grant
+
+        eng.process(proc())
+        eng.run()
+        assert res.in_use == 1
+        res.cancel(grant)  # already granted: behaves like release
+        assert res.in_use == 0
+
+    def test_capacity_never_leaks_after_cancel(self):
+        eng = Engine()
+        res = Resource(eng, capacity=2)
+        grants = [res.acquire() for _ in range(4)]
+        for g in grants[2:]:
+            res.cancel(g)  # cancel the two queued ones
+        eng.run()
+        assert res.in_use == 2
+        res.cancel(grants[0])
+        res.cancel(grants[1])
+        assert res.in_use == 0

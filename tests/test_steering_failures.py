@@ -154,7 +154,7 @@ class TestFaultHandling:
         with pytest.raises(KeyError):
             tr.registry.lookup(descs[0].region_id)
 
-    def test_exhausted_retries_raise(self):
+    def test_exhausted_retries_fail_terminally_without_killing_bucket(self):
         eng, tr, ds = self._space()
 
         def always_fails(payloads):
@@ -164,22 +164,33 @@ class TestFaultHandling:
         task = ds.submit_grouped_result("a", 0, descs, compute=always_fails)
         task.max_retries = 2
         ds.shutdown_buckets()
-        with pytest.raises(RuntimeError, match="permanent failure"):
-            eng.run()
+        eng.run()
         failures = [f for b in ds.buckets for f in b.failures]
         assert len(failures) == 3  # initial + 2 retries
+        # the task is accounted as terminally failed, not lost
+        assert task.task_id in ds.failed_task_ids()
+        acct = ds.task_accounting()
+        assert acct["failed"] == 1 and acct["outstanding"] == 0
+        # every bucket survived and was shut down cleanly, not killed
+        assert all(not b.dead for b in ds.buckets)
+        # the failed task's retained regions were released
+        assert len(tr.registry) == 0
 
-    def test_fail_fast_by_default(self):
+    def test_fail_fast_by_default_records_terminal_failure(self):
         eng, tr, ds = self._space()
 
         def always_fails(payloads):
             raise RuntimeError("fatal")
 
         descs = [tr.register("sim-0", b"x")]
-        ds.submit_grouped_result("a", 0, descs, compute=always_fails)
+        task = ds.submit_grouped_result("a", 0, descs, compute=always_fails)
         ds.shutdown_buckets()
-        with pytest.raises(RuntimeError, match="fatal"):
-            eng.run()
+        eng.run()
+        failures = [f for b in ds.buckets for f in b.failures]
+        assert len(failures) == 1  # max_retries=0: one attempt, no retry
+        assert task.task_id in ds.failed_task_ids()
+        assert ds.task_accounting()["outstanding"] == 0
+        assert all(not b.dead for b in ds.buckets)
 
     def test_max_retries_validation(self):
         from repro.staging.descriptors import TaskDescriptor
