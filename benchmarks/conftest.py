@@ -7,9 +7,14 @@ rows; under pytest the same logic runs with assertions on the paper's
 shape claims, and ``pytest-benchmark`` times the representative kernels.
 
 Every ``pytest-benchmark`` result is additionally written to
-``benchmarks/results/BENCH_<name>.json`` at session end, so runs leave a
-machine-readable record without extra flags; tests can record their own
-figures through the ``bench_json_writer`` fixture.
+``benchmarks/results/BENCH_<name>.json`` at session end (the ``test_``
+prefix is stripped from the slug), so runs leave a machine-readable
+record without extra flags; tests can record their own figures through
+the ``bench_json_writer`` fixture. The session also appends one
+:class:`repro.obs.perf.RunRecord` (metrics ``wall.bench.<slug>.<stat>``)
+to the ``benchmarks/results/perf`` run store — the same schema the
+``python -m repro perf`` CLI reads, so benchmark timings show up in the
+cross-run dashboard.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ _STAT_KEYS = ("min", "max", "mean", "stddev", "median", "iqr", "rounds",
 
 
 def _slug(name: str) -> str:
+    name = re.sub(r"^test_", "", name)
     return re.sub(r"[^A-Za-z0-9_.-]+", "_", name).strip("_")
 
 
@@ -49,14 +55,17 @@ def bench_json_writer():
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Emit one BENCH_<name>.json per pytest-benchmark result."""
+    """Emit one BENCH_<name>.json per pytest-benchmark result, plus one
+    run record (``wall.bench.*`` metrics) into the shared run store."""
     bench_session = getattr(session.config, "_benchmarksession", None)
     if bench_session is None:
         return
+    run_metrics: dict[str, float] = {}
     for bench in getattr(bench_session, "benchmarks", []):
         stats = getattr(bench, "stats", None)
+        name = getattr(bench, "name", "unknown")
         record = {
-            "name": getattr(bench, "name", "unknown"),
+            "name": name,
             "fullname": getattr(bench, "fullname", None),
             "group": getattr(bench, "group", None),
             "param": getattr(bench, "param", None),
@@ -70,7 +79,17 @@ def pytest_sessionfinish(session, exitstatus):
                 except (TypeError, ValueError):
                     pass
         if stats is not None:
-            write_bench_json(record["name"], record)
+            write_bench_json(name, record)
+            slug = _slug(name)
+            for key in ("min", "mean", "median"):
+                if key in record:
+                    run_metrics[f"wall.bench.{slug}.{key}"] = record[key]
+    if run_metrics:
+        from repro.obs.perf import RunRecord, RunStore
+
+        store = RunStore(RESULTS_DIR / "perf")
+        store.append(RunRecord.new(source="bench", metrics=run_metrics,
+                                   meta={"exitstatus": int(exitstatus)}))
 
 
 def blob_field(shape=(16, 14, 12), n_blobs=5, seed=0) -> np.ndarray:

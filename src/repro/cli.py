@@ -13,7 +13,14 @@ Commands:
 * ``trace``     — replay the schedule under the tracer and emit a
   Chrome/Perfetto trace, critical-path report, and model reconciliation;
 * ``faults``    — run the staging workload under seeded fault injection
-  and report recovery behaviour per scenario.
+  and report recovery behaviour per scenario;
+* ``perf``      — cross-run performance: ``record`` appends the canonical
+  run record to a store, ``compare`` gates a fresh run against the
+  committed baseline (nonzero exit on regression), ``report`` renders the
+  self-contained HTML dashboard.
+
+File-writing commands put their artifacts under ``--out-dir``
+(default ``repro_out/``) unless given explicit paths.
 """
 
 from __future__ import annotations
@@ -163,6 +170,8 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro.core import ExperimentConfig, ScaledExperiment
     from repro.obs import (
         critical_path,
@@ -174,6 +183,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         write_jsonl,
     )
     from repro.obs.tracer import tracing
+
+    out = Path(args.out) if args.out else Path(args.out_dir) / "repro_trace.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    jsonl = Path(args.jsonl) if args.jsonl else None
+    if jsonl is not None:
+        jsonl.parent.mkdir(parents=True, exist_ok=True)
 
     if args.functional:
         # Trace the laptop-scale functional pipeline (wall clock is the
@@ -198,16 +213,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             analysis_interval=args.interval)
         clock = "trace"
 
-    doc = write_chrome_trace(args.out, tracer.trace, tracer.metrics,
+    doc = write_chrome_trace(out, tracer.trace, tracer.metrics,
                              clock=clock)
     problems = validate_chrome_trace(doc)
     n_spans = len(tracer.trace.closed_spans())
-    print(f"wrote {args.out}: {len(doc['traceEvents'])} events, "
+    print(f"wrote {out}: {len(doc['traceEvents'])} events, "
           f"{n_spans} spans, {len(tracer.trace.lanes())} lanes "
           f"(load in Perfetto / chrome://tracing)")
-    if args.jsonl:
-        n_lines = write_jsonl(args.jsonl, tracer.trace, tracer.metrics)
-        print(f"wrote {args.jsonl} ({n_lines} lines)")
+    if jsonl is not None:
+        n_lines = write_jsonl(jsonl, tracer.trace, tracer.metrics)
+        print(f"wrote {jsonl} ({n_lines} lines)")
     if problems:
         print("trace validation FAILED:")
         for p in problems[:10]:
@@ -286,6 +301,102 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _parse_kv_floats(pairs: list[str], option: str) -> dict[str, float]:
+    """``["a=1.5", "b=0"] -> {"a": 1.5, "b": 0.0}`` with a clear error."""
+    out: dict[str, float] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"{option} expects KEY=VALUE, got {pair!r}")
+        try:
+            out[key] = float(raw)
+        except ValueError:
+            raise SystemExit(
+                f"{option}: value for {key!r} is not a number: {raw!r}"
+            ) from None
+    return out
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.perf import (
+        DEFAULT_POLICIES,
+        Baseline,
+        MetricPolicy,
+        RunStore,
+        collect_run_record,
+        compare_record,
+    )
+
+    out_dir = Path(args.out_dir)
+    store = RunStore(args.store if args.store else out_dir / "perf")
+    baseline_store = RunStore(args.baseline)
+    perturb = _parse_kv_floats(args.perturb, "--perturb") or None
+    policies = DEFAULT_POLICIES
+    if args.tolerance:
+        overrides = tuple(
+            MetricPolicy(pattern, tolerance=tol)
+            for pattern, tol in _parse_kv_floats(args.tolerance,
+                                                 "--tolerance").items())
+        policies = overrides + DEFAULT_POLICIES
+
+    if args.action == "record":
+        record = collect_run_record(n_steps=args.steps,
+                                    n_buckets=args.buckets,
+                                    source=args.source, perturb=perturb,
+                                    fault_seed=args.seed)
+        path = store.append(record)
+        print(f"recorded run {record.run_id} "
+              f"(git {record.git_sha or 'n/a'}) -> {path}")
+        print(f"  {len(record.metrics)} metrics, "
+              f"{int(record.metrics.get('probe.samples', 0))} probe "
+              f"samples, {int(record.metrics.get('slo.alerts', 0))} SLO "
+              f"alerts; store now holds {len(store)} runs")
+        return 0
+
+    if args.action == "compare":
+        base_records = baseline_store.records()
+        if not base_records:
+            print(f"no baseline records in {baseline_store.path} — run "
+                  f"`python -m repro perf record --store "
+                  f"{baseline_store.root}` first")
+            return 2
+        baseline = Baseline.from_records(base_records, window=args.window)
+        record = collect_run_record(n_steps=args.steps,
+                                    n_buckets=args.buckets,
+                                    source="compare", perturb=perturb,
+                                    fault_seed=args.seed)
+        report = compare_record(record, baseline, policies)
+        print(report.table())
+        counts = report.counts()
+        summary = ", ".join(f"{counts[k]} {k}" for k in sorted(counts))
+        print(f"\ngate: {'PASS' if report.ok else 'FAIL'} ({summary})")
+        return 0 if report.ok else 1
+
+    # report: render the dashboard over the store (fall back to the
+    # committed baseline so a fresh checkout still gets a page).
+    from repro.obs.report import write_dashboard
+
+    records = store.records()
+    which = store
+    if not records:
+        records = baseline_store.records()
+        which = baseline_store
+    report = None
+    base_records = baseline_store.records()
+    if records and base_records:
+        baseline = Baseline.from_records(base_records, window=args.window)
+        report = compare_record(records[-1], baseline, policies)
+    out = Path(args.html) if args.html else out_dir / "perf_dashboard.html"
+    write_dashboard(out, records, report)
+    print(f"wrote {out} ({len(records)} runs from {which.path}"
+          f"{', with gate panel' if report is not None else ''})")
+    if not records:
+        print("store is empty — run `python -m repro perf record` first")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -331,8 +442,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--buckets", type=int, default=8)
     p.add_argument("--interval", type=int, default=1,
                    help="analysis interval (steps between analysed steps)")
-    p.add_argument("--out", default="repro_trace.json",
-                   help="Chrome trace-event output path")
+    p.add_argument("--out-dir", default="repro_out",
+                   help="artifact directory (default: repro_out/)")
+    p.add_argument("--out", default=None,
+                   help="Chrome trace-event output path "
+                        "(default: <out-dir>/repro_trace.json)")
     p.add_argument("--jsonl", default=None,
                    help="also write a JSON-lines event log here")
     p.add_argument("--functional", action="store_true",
@@ -351,6 +465,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="expected bucket crashes per simulated second")
     p.add_argument("--horizon", type=float, default=0.06,
                    help="crash sampling horizon (simulated seconds)")
+
+    p = sub.add_parser("perf", help="cross-run records, regression gate, "
+                                    "HTML dashboard")
+    p.add_argument("action", choices=("record", "compare", "report"),
+                   help="record: append a run record to the store; "
+                        "compare: gate a fresh run against the baseline "
+                        "(exit 1 on regression); report: write the HTML "
+                        "dashboard")
+    p.add_argument("--out-dir", default="repro_out",
+                   help="artifact directory (default: repro_out/)")
+    p.add_argument("--store", default=None,
+                   help="run-store directory (default: <out-dir>/perf)")
+    p.add_argument("--baseline", default="benchmarks/results/baseline",
+                   help="committed baseline store directory")
+    p.add_argument("--window", type=int, default=5,
+                   help="baseline rolling window (last N records)")
+    p.add_argument("--steps", type=int, default=10)
+    p.add_argument("--buckets", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-injection seed for the recovery phase")
+    p.add_argument("--source", default="cli",
+                   help="source tag stored in the record")
+    p.add_argument("--tolerance", action="append", default=[],
+                   metavar="PATTERN=TOL",
+                   help="per-metric tolerance override (repeatable), e.g. "
+                        "--tolerance 'sched.*=0.10'")
+    p.add_argument("--perturb", action="append", default=[],
+                   metavar="OP=FACTOR",
+                   help="multiply a cost-model op rate (repeatable), e.g. "
+                        "--perturb topo.subtree=1.5 — demonstrates the "
+                        "gate tripping")
+    p.add_argument("--html", default=None,
+                   help="dashboard path (default: "
+                        "<out-dir>/perf_dashboard.html)")
     return parser
 
 
@@ -363,6 +511,7 @@ _COMMANDS = {
     "schedule": _cmd_schedule,
     "trace": _cmd_trace,
     "faults": _cmd_faults,
+    "perf": _cmd_perf,
 }
 
 

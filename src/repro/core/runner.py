@@ -26,6 +26,7 @@ from repro.costmodel.models import CostModel
 from repro.des import Engine
 from repro.io.fpp import IOTimeModel
 from repro.machine.specs import MachineSpec, jaguar_xk6
+from repro.obs.probes import ProbeSampler, default_slos, standard_probes
 from repro.obs.tracer import Tracer, get_tracer, tracing
 from repro.staging.dataspaces import DataSpaces
 from repro.staging.descriptors import TaskResult
@@ -83,6 +84,9 @@ class ScheduleResult:
     n_buckets: int
     #: Scheduler assignment records (Fig. 5 event-trace validation).
     assignments: list[AssignmentRecord] = field(default_factory=list)
+    #: Live-probe sampler attached to the replay (``probe_interval``
+    #: given under tracing), carrying gauge time series and SLO alerts.
+    probes: "ProbeSampler | None" = None
 
     def by_analysis(self, name: str) -> list[TaskResult]:
         return [r for r in self.results if r.analysis == name]
@@ -242,7 +246,9 @@ class ScaledExperiment:
     def run_schedule(self, n_steps: int = 10,
                      analyses: tuple[AnalyticsVariant, ...] = HYBRID_VARIANTS,
                      n_buckets: int | None = None,
-                     analysis_interval: int = 1) -> ScheduleResult:
+                     analysis_interval: int = 1,
+                     probe_interval: float | None = None,
+                     slos: tuple | None = None) -> ScheduleResult:
         """Replay ``n_steps`` of the hybrid workflow on the DES.
 
         One grouped in-transit task per (hybrid analysis, analysed step)
@@ -250,6 +256,14 @@ class ScaledExperiment:
         pull the full-scale intermediate data and hold it for the modeled
         service time. Distinct timesteps land on distinct buckets — the
         paper's temporal multiplexing.
+
+        With tracing enabled and ``probe_interval`` given, a
+        :class:`~repro.obs.probes.ProbeSampler` rides the replay: the
+        standard gauges (queue depth, NIC occupancy, bucket utilisation,
+        RDMA live bytes) are sampled every ``probe_interval`` simulated
+        seconds and the SLO rules (``slos``, default
+        :func:`~repro.obs.probes.default_slos`) are checked live; the
+        sampler is returned on :attr:`ScheduleResult.probes`.
         """
         if n_steps < 1:
             raise ValueError(f"n_steps must be >= 1, got {n_steps}")
@@ -265,6 +279,13 @@ class ScaledExperiment:
                         n_servers=max(1, self.config.n_service_cores),
                         cost_model=self._service_cost_model())
         ds.spawn_buckets([f"staging-{i}" for i in range(n_buckets)])
+
+        sampler: ProbeSampler | None = None
+        if probe_interval is not None and get_tracer().enabled:
+            sampler = ProbeSampler(
+                probe_interval, standard_probes(ds, transport),
+                slos=default_slos(n_buckets) if slos is None else slos)
+            engine.attach_probe(sampler)
 
         sim_dt = self.simulation_step_time()
         # Each analysed step charges the in-situ stages on the sim cores;
@@ -305,12 +326,15 @@ class ScaledExperiment:
         # drain logic then waits for outstanding tasks to finish).
         engine.call_at(t, ds.shutdown_buckets)
         engine.run()
+        if sampler is not None:
+            sampler.finalize(get_tracer().trace)
         results = ds.all_results()
         makespan = max((r.finish_time for r in results), default=0.0)
         return ScheduleResult(results=results, makespan=makespan,
                               n_steps=n_steps, sim_step_time=sim_dt,
                               n_buckets=n_buckets,
-                              assignments=list(ds.scheduler.assignments))
+                              assignments=list(ds.scheduler.assignments),
+                              probes=sampler)
 
     # -- observability ------------------------------------------------------------
 
@@ -342,7 +366,8 @@ class ScaledExperiment:
     def traced_schedule(self, n_steps: int = 10,
                         analyses: tuple[AnalyticsVariant, ...] = HYBRID_VARIANTS,
                         n_buckets: int | None = None,
-                        analysis_interval: int = 1
+                        analysis_interval: int = 1,
+                        probe_interval: float | None = None
                         ) -> tuple[Tracer, ScheduleResult, dict[str, float]]:
         """Replay the schedule under a fresh tracer.
 
@@ -352,7 +377,8 @@ class ScaledExperiment:
         """
         with tracing() as tracer:
             result = self.run_schedule(n_steps, analyses, n_buckets,
-                                       analysis_interval)
+                                       analysis_interval,
+                                       probe_interval=probe_interval)
         expected = self.expected_stage_totals(n_steps, analyses,
                                               analysis_interval)
         return tracer, result, expected

@@ -168,11 +168,22 @@ class Engine:
         self._seq = 0
         self.now: float = 0.0
         self._processes: list[ProcessHandle] = []
+        #: Optional live sampler (``repro.obs.probes.ProbeSampler``):
+        #: notified via ``on_advance(now)`` as the clock advances.
+        self._probe: Any = None
         # Capture the active tracer once; when tracing is enabled the
         # engine's clock becomes the tracer's trace clock.
         self._tracer = get_tracer()
         if self._tracer.enabled:
             self._tracer.attach_engine(self)
+
+    def attach_probe(self, sampler: Any) -> None:
+        """Install a periodic sampler; it sees every clock advance.
+
+        The sampler needs one method, ``on_advance(now: float)``. Attach
+        before :meth:`run`; pass ``None`` to detach.
+        """
+        self._probe = sampler
 
     # -- scheduling primitives ----------------------------------------------
 
@@ -253,6 +264,7 @@ class Engine:
         Returns the final simulated time.
         """
         traced = self._tracer.enabled
+        probe = self._probe
         while self._heap:
             when, _seq, fn, arg = self._heap[0]
             if until is not None and when > until:
@@ -260,6 +272,8 @@ class Engine:
                 return self.now
             heapq.heappop(self._heap)
             self.now = when
+            if probe is not None:
+                probe.on_advance(when)
             if traced:
                 self._tracer.counter("des.dispatch")
             fn(arg)
@@ -273,6 +287,7 @@ class Engine:
         Raises ``RuntimeError`` if the event heap drains first (deadlock) or
         the clock passes ``limit``.
         """
+        probe = self._probe
         while not proc.finished:
             if not self._heap:
                 raise RuntimeError(f"deadlock: process {proc.name!r} never finished")
@@ -280,5 +295,7 @@ class Engine:
                 raise RuntimeError(f"time limit {limit} exceeded waiting for {proc.name!r}")
             when, _seq, fn, arg = heapq.heappop(self._heap)
             self.now = when
+            if probe is not None:
+                probe.on_advance(when)
             fn(arg)
         return proc.result

@@ -54,6 +54,29 @@ class ResilienceReport:
         return (acct["completed"] + acct["failed"] == acct["submitted"]
                 and acct["outstanding"] == 0)
 
+    @property
+    def mttr(self) -> float:
+        """Mean time to recovery: crash-to-requeue latency averaged over
+        the lease reassignments (0.0 when nothing needed recovering)."""
+        if not self.recovery_delays:
+            return 0.0
+        return sum(self.recovery_delays) / len(self.recovery_delays)
+
+    def to_metrics(self, prefix: str = "faults") -> dict[str, float]:
+        """The report reduced to the canonical run-record metric schema
+        (see :mod:`repro.obs.perf`): every figure the regression gate and
+        the dashboard's fault-recovery panel track across runs."""
+        return {
+            f"{prefix}.makespan_s": self.makespan,
+            f"{prefix}.mttr_s": self.mttr,
+            f"{prefix}.reassignments": float(self.reassignments),
+            f"{prefix}.retries": float(self.retries),
+            f"{prefix}.restarts": float(self.restarts),
+            f"{prefix}.fallback_tasks": float(self.fallback_tasks),
+            f"{prefix}.crashes": float(self.crashes_injected),
+            f"{prefix}.terminal_failures": float(self.accounting["failed"]),
+        }
+
 
 def run_resilience_experiment(config: FaultConfig | None = None,
                               n_tasks: int = 32,

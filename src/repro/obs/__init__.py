@@ -12,6 +12,11 @@ The observability subsystem for the hybrid pipeline:
   event logs, and text summaries.
 * Analysis — :func:`critical_path` extraction over the span DAG and
   :func:`reconcile_totals` against :mod:`repro.core.breakdown` figures.
+* Cross-run performance — :class:`RunStore` append-only run records,
+  :func:`compare_record` regression gating against a rolling
+  :class:`Baseline`, :class:`ProbeSampler` live DES-clock probes with SLO
+  rules, and :func:`write_dashboard` self-contained HTML reports
+  (``python -m repro perf record|compare|report``).
 
 Typical use::
 
@@ -42,6 +47,28 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.perf import (
+    DEFAULT_POLICIES,
+    Baseline,
+    MetricPolicy,
+    MetricVerdict,
+    RegressionReport,
+    RunRecord,
+    RunStore,
+    collect_run_record,
+    compare_record,
+    machine_fingerprint,
+)
+from repro.obs.probes import (
+    ProbeSampler,
+    SloAlert,
+    SloRule,
+    SummarySlo,
+    default_slos,
+    insitu_share_slo,
+    standard_probes,
+)
+from repro.obs.report import render_dashboard, write_dashboard
 from repro.obs.tracer import (
     NULL_TRACER,
     InstantRecord,
@@ -72,6 +99,25 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "DEFAULT_POLICIES",
+    "Baseline",
+    "MetricPolicy",
+    "MetricVerdict",
+    "RegressionReport",
+    "RunRecord",
+    "RunStore",
+    "collect_run_record",
+    "compare_record",
+    "machine_fingerprint",
+    "ProbeSampler",
+    "SloAlert",
+    "SloRule",
+    "SummarySlo",
+    "default_slos",
+    "insitu_share_slo",
+    "standard_probes",
+    "render_dashboard",
+    "write_dashboard",
     "NULL_TRACER",
     "InstantRecord",
     "NullTracer",

@@ -15,6 +15,8 @@ lookup and a no-op call when tracing is off.
 
 from __future__ import annotations
 
+import random
+import zlib
 from collections.abc import Callable
 from typing import Any
 
@@ -78,36 +80,72 @@ class Gauge:
 
 
 class Histogram:
-    """Distribution of observed values (transfer sizes, span durations)."""
+    """Distribution of observed values (transfer sizes, span durations).
 
-    __slots__ = ("name", "values")
+    Count, total, mean, min and max are exact regardless of retention.
+    The raw observations back the percentiles; with ``max_samples`` set
+    they are capped by reservoir sampling (algorithm R, seeded per name so
+    runs stay deterministic), bounding memory on long runs while keeping
+    the percentile estimate unbiased. The sorted view is cached between
+    observations, so repeated ``percentile()`` calls (two per histogram
+    per registry ``snapshot()``) cost one sort at most.
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = ("name", "values", "max_samples", "_count", "_total",
+                 "_vmin", "_vmax", "_sorted", "_rng")
+
+    def __init__(self, name: str, max_samples: int | None = None) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
         self.name = name
         self.values: list[float] = []
+        self.max_samples = max_samples
+        self._count = 0
+        self._total = 0.0
+        self._vmin = float("inf")
+        self._vmax = float("-inf")
+        self._sorted: list[float] | None = None
+        self._rng: random.Random | None = None
 
     def observe(self, value: float) -> None:
-        self.values.append(value)
+        self._count += 1
+        self._total += value
+        if value < self._vmin:
+            self._vmin = value
+        if value > self._vmax:
+            self._vmax = value
+        if self.max_samples is None or len(self.values) < self.max_samples:
+            self.values.append(value)
+            self._sorted = None
+            return
+        # Reservoir replacement: keep each of the _count observations with
+        # equal probability max_samples/_count.
+        if self._rng is None:
+            self._rng = random.Random(zlib.crc32(self.name.encode()))
+        j = self._rng.randrange(self._count)
+        if j < self.max_samples:
+            self.values[j] = value
+            self._sorted = None
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        return self._count
 
     @property
     def total(self) -> float:
-        return sum(self.values)
+        return self._total
 
     @property
     def mean(self) -> float:
-        return self.total / len(self.values) if self.values else 0.0
+        return self._total / self._count if self._count else 0.0
 
     @property
     def vmin(self) -> float:
-        return min(self.values) if self.values else 0.0
+        return self._vmin if self._count else 0.0
 
     @property
     def vmax(self) -> float:
-        return max(self.values) if self.values else 0.0
+        return self._vmax if self._count else 0.0
 
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile, ``p`` in [0, 100]."""
@@ -115,7 +153,9 @@ class Histogram:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         if not self.values:
             return 0.0
-        ordered = sorted(self.values)
+        if self._sorted is None:
+            self._sorted = sorted(self.values)
+        ordered = self._sorted
         rank = max(0, min(len(ordered) - 1,
                           round(p / 100 * (len(ordered) - 1))))
         return ordered[rank]
@@ -147,9 +187,11 @@ class MetricsRegistry:
     """Name-keyed collection of instruments, created on first use."""
 
     def __init__(self, clock: Callable[[], float] | None = None,
-                 record_series: bool = False) -> None:
+                 record_series: bool = False,
+                 histogram_max_samples: int | None = None) -> None:
         self._clock = clock
         self._record_series = record_series
+        self._histogram_max_samples = histogram_max_samples
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
@@ -168,10 +210,15 @@ class MetricsRegistry:
                                              self._record_series)
         return inst
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str,
+                  max_samples: int | None = None) -> Histogram:
+        """Get or create a histogram. ``max_samples`` (first call only)
+        overrides the registry-wide reservoir cap for this instrument."""
         inst = self.histograms.get(name)
         if inst is None:
-            inst = self.histograms[name] = Histogram(name)
+            cap = (max_samples if max_samples is not None
+                   else self._histogram_max_samples)
+            inst = self.histograms[name] = Histogram(name, max_samples=cap)
         return inst
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
@@ -226,7 +273,8 @@ class _NullMetricsRegistry(MetricsRegistry):
     def gauge(self, name: str) -> Gauge:  # type: ignore[override]
         return _NULL_INSTRUMENT  # type: ignore[return-value]
 
-    def histogram(self, name: str) -> Histogram:  # type: ignore[override]
+    def histogram(self, name: str, max_samples: int | None = None
+                  ) -> Histogram:  # type: ignore[override]
         return _NULL_INSTRUMENT  # type: ignore[return-value]
 
 

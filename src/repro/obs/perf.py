@@ -1,0 +1,505 @@
+"""Cross-run performance records and the regression gate.
+
+The paper's argument is a set of *times and sizes per timestep* (Figs.
+5–6, Tables I–II); this module gives the reproduction a memory of those
+figures across runs. Three pieces:
+
+* :class:`RunRecord` / :class:`RunStore` — one canonical, append-friendly
+  schema for "what one run measured": a flat ``metrics`` map (stage
+  totals, critical-path busy/wait, scheduler figures, fault-recovery
+  stats, wall timings), plus provenance (git SHA, the modeled
+  :class:`~repro.machine.specs.MachineSpec` fingerprint) and a ``meta``
+  blob carrying dashboard payloads (probe time series, SLO alerts, the
+  Fig.-6 stage breakdown). The same schema is written by the benchmark
+  harness (``benchmarks/conftest.py``), the resilience experiment, and
+  the ``python -m repro perf`` CLI.
+* :class:`Baseline` + :func:`compare_record` — the regression detector:
+  per-metric rolling median over the last *N* records with a MAD-based
+  noise band, per-metric tolerance/direction overrides via glob-matched
+  :class:`MetricPolicy` rules, and a table of per-metric verdicts
+  (``ok`` / ``improved`` / ``regressed`` / ``new`` / ``missing`` /
+  ``info``). CI gates on :attr:`RegressionReport.ok`.
+* :func:`collect_run_record` — the canonical probe workload: a traced
+  DES replay of the staging schedule (with live probes and SLO rules)
+  plus a seeded fault-recovery scenario, reduced to the metric map.
+
+Simulated-time metrics are deterministic for a given tree, so on an
+unchanged tree every gated metric compares exactly equal to the committed
+baseline; wall-clock metrics carry a ``wall.`` prefix and are recorded
+but never gated (they vary per host).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import os
+import subprocess
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.machine.specs import MachineSpec
+from repro.util.tables import TextTable
+
+__all__ = [
+    "RunRecord",
+    "RunStore",
+    "MetricPolicy",
+    "Baseline",
+    "MetricVerdict",
+    "RegressionReport",
+    "DEFAULT_POLICIES",
+    "machine_fingerprint",
+    "git_sha",
+    "collect_run_record",
+    "compare_record",
+]
+
+SCHEMA_VERSION = 1
+
+
+def machine_fingerprint(spec: MachineSpec) -> dict[str, Any]:
+    """The modeled machine reduced to the fields that pin the cost model.
+
+    Deliberately excludes anything host-specific: two machines replaying
+    the same modeled system must produce identical fingerprints, so the
+    deterministic metrics stay comparable across laptops and CI.
+    """
+    return {
+        "name": spec.name,
+        "n_nodes": spec.n_nodes,
+        "cores_per_node": spec.node.cores,
+        "node_memory_bytes": spec.node.memory_bytes,
+        "core_gflops": spec.node.core_gflops,
+    }
+
+
+def git_sha(repo_dir: str | Path | None = None) -> str | None:
+    """Current git HEAD SHA, or ``None`` outside a repository."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(repo_dir) if repo_dir else None,
+            capture_output=True, text=True, timeout=10, check=False)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+@dataclass
+class RunRecord:
+    """One run's canonical measurements plus provenance."""
+
+    run_id: str
+    created_at: str
+    source: str
+    metrics: dict[str, float]
+    git_sha: str | None = None
+    machine: dict[str, Any] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
+    schema: int = SCHEMA_VERSION
+
+    @classmethod
+    def new(cls, source: str, metrics: dict[str, float],
+            machine: dict[str, Any] | None = None,
+            meta: dict[str, Any] | None = None,
+            repo_dir: str | Path | None = None) -> "RunRecord":
+        return cls(
+            run_id=uuid.uuid4().hex[:12],
+            created_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            source=source,
+            metrics={k: float(v) for k, v in metrics.items()},
+            git_sha=git_sha(repo_dir),
+            machine=machine or {},
+            meta=meta or {},
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "run_id": self.run_id,
+            "created_at": self.created_at,
+            "source": self.source,
+            "git_sha": self.git_sha,
+            "machine": self.machine,
+            "metrics": self.metrics,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunRecord":
+        return cls(
+            run_id=str(data.get("run_id", "unknown")),
+            created_at=str(data.get("created_at", "")),
+            source=str(data.get("source", "unknown")),
+            metrics={str(k): float(v)
+                     for k, v in (data.get("metrics") or {}).items()},
+            git_sha=data.get("git_sha"),
+            machine=dict(data.get("machine") or {}),
+            meta=dict(data.get("meta") or {}),
+            schema=int(data.get("schema", SCHEMA_VERSION)),
+        )
+
+
+class RunStore:
+    """Append-friendly store of run records: one JSONL file per store.
+
+    A store is a directory holding ``runs.jsonl``; appending is a single
+    ``O_APPEND`` write, so concurrent benchmark sessions never clobber
+    each other. The committed baseline under
+    ``benchmarks/results/baseline/`` is just a store directory checked
+    into git.
+    """
+
+    FILENAME = "runs.jsonl"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    @property
+    def path(self) -> Path:
+        return self.root / self.FILENAME
+
+    def append(self, record: RunRecord) -> Path:
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record.to_dict(), sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+        return self.path
+
+    def records(self) -> list[RunRecord]:
+        """All records, oldest first (file order; ties keep file order)."""
+        if not self.path.exists():
+            return []
+        out: list[RunRecord] = []
+        with open(self.path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    out.append(RunRecord.from_dict(json.loads(line)))
+                except (json.JSONDecodeError, TypeError, ValueError):
+                    continue  # a torn/foreign line never poisons the store
+        return out
+
+    def last(self, n: int) -> list[RunRecord]:
+        return self.records()[-n:]
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+
+# -- regression detection ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricPolicy:
+    """How one metric (glob pattern) is judged against the baseline.
+
+    ``direction`` is the *good* direction: ``"lower"`` (times, queue
+    waits — higher is a regression), ``"higher"`` (throughputs), or
+    ``"both"`` (invariants like task counts — any drift is a regression).
+    ``gate=False`` records the comparison informationally but never fails
+    the gate (wall-clock figures across heterogeneous hosts).
+    """
+
+    pattern: str
+    tolerance: float = 0.05
+    direction: str = "lower"
+    gate: bool = True
+    #: MAD multiplier for the noise band (3 x scaled MAD ~ 3 sigma).
+    mad_k: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("lower", "higher", "both"):
+            raise ValueError(f"direction must be lower/higher/both, "
+                             f"got {self.direction!r}")
+        if self.tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {self.tolerance}")
+
+    def matches(self, metric: str) -> bool:
+        return fnmatch.fnmatchcase(metric, self.pattern)
+
+
+#: First match wins; the trailing ``*`` rule is the default.
+DEFAULT_POLICIES: tuple[MetricPolicy, ...] = (
+    MetricPolicy("wall.*", gate=False),
+    MetricPolicy("count.*", tolerance=0.0, direction="both"),
+    MetricPolicy("probe.samples", tolerance=0.0, direction="both"),
+    MetricPolicy("slo.alerts", tolerance=0.0, direction="lower"),
+    MetricPolicy("faults.*", tolerance=0.02, direction="lower"),
+    MetricPolicy("*", tolerance=0.02, direction="lower"),
+)
+
+_MAD_SCALE = 1.4826  # scaled MAD estimates sigma under normal noise
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+@dataclass
+class Baseline:
+    """Per-metric rolling statistics over the last *N* baseline records."""
+
+    stats: dict[str, tuple[float, float, int]]  # metric -> (median, MAD, n)
+    n_records: int = 0
+    window: int = 0
+
+    @classmethod
+    def from_records(cls, records: list[RunRecord],
+                     window: int = 5) -> "Baseline":
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        recent = records[-window:]
+        by_metric: dict[str, list[float]] = {}
+        for rec in recent:
+            for name, value in rec.metrics.items():
+                by_metric.setdefault(name, []).append(value)
+        stats: dict[str, tuple[float, float, int]] = {}
+        for name, values in by_metric.items():
+            med = _median(values)
+            mad = _median([abs(v - med) for v in values])
+            stats[name] = (med, mad, len(values))
+        return cls(stats=stats, n_records=len(recent), window=window)
+
+    def __contains__(self, metric: str) -> bool:
+        return metric in self.stats
+
+
+@dataclass
+class MetricVerdict:
+    """One metric's comparison against the baseline."""
+
+    metric: str
+    status: str  # ok | improved | regressed | new | missing | info
+    value: float | None
+    median: float | None
+    band: float = 0.0
+    gated: bool = True
+
+    @property
+    def delta(self) -> float | None:
+        if self.value is None or self.median is None:
+            return None
+        return self.value - self.median
+
+    @property
+    def rel_delta(self) -> float | None:
+        d = self.delta
+        if d is None:
+            return None
+        if self.median == 0.0:
+            return float("inf") if d else 0.0
+        return d / abs(self.median)
+
+    @property
+    def failed(self) -> bool:
+        return self.gated and self.status in ("regressed", "missing")
+
+
+@dataclass
+class RegressionReport:
+    """Every metric's verdict for one record-vs-baseline comparison."""
+
+    verdicts: list[MetricVerdict]
+    n_baseline_records: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not any(v.failed for v in self.verdicts)
+
+    def by_status(self, *statuses: str) -> list[MetricVerdict]:
+        return [v for v in self.verdicts if v.status in statuses]
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for v in self.verdicts:
+            out[v.status] = out.get(v.status, 0) + 1
+        return out
+
+    def table(self) -> str:
+        t = TextTable(["metric", "baseline", "value", "delta", "band",
+                       "verdict"],
+                      title=f"regression gate vs baseline "
+                            f"({self.n_baseline_records} records)")
+        order = {"regressed": 0, "missing": 1, "improved": 2, "new": 3,
+                 "ok": 4, "info": 5}
+        for v in sorted(self.verdicts,
+                        key=lambda v: (order.get(v.status, 9), v.metric)):
+            rel = v.rel_delta
+            delta = ("—" if rel is None
+                     else f"{100 * rel:+.2f}%" if abs(rel) != float("inf")
+                     else f"{v.delta:+.4g}")
+            t.add_row([
+                v.metric,
+                "—" if v.median is None else f"{v.median:.6g}",
+                "—" if v.value is None else f"{v.value:.6g}",
+                delta,
+                f"{v.band:.3g}",
+                v.status.upper() if v.failed else v.status,
+            ])
+        return t.render()
+
+
+def _policy_for(metric: str, policies: tuple[MetricPolicy, ...]
+                ) -> MetricPolicy:
+    for pol in policies:
+        if pol.matches(metric):
+            return pol
+    return MetricPolicy("*")
+
+
+def compare_record(record: RunRecord, baseline: Baseline,
+                   policies: tuple[MetricPolicy, ...] = DEFAULT_POLICIES,
+                   ) -> RegressionReport:
+    """Judge every metric of ``record`` against the baseline statistics.
+
+    The noise band per metric is ``max(tol * |median|, mad_k * 1.4826 *
+    MAD)``: the relative tolerance dominates for deterministic metrics
+    (MAD = 0), the MAD term widens the band where the baseline itself is
+    noisy. Values inside the band are ``ok``; outside, the policy's
+    direction decides ``improved`` vs ``regressed``.
+    """
+    verdicts: list[MetricVerdict] = []
+    for name, value in sorted(record.metrics.items()):
+        pol = _policy_for(name, policies)
+        if name not in baseline:
+            verdicts.append(MetricVerdict(name, "new", value, None,
+                                          gated=False))
+            continue
+        med, mad, _n = baseline.stats[name]
+        band = max(pol.tolerance * abs(med), pol.mad_k * _MAD_SCALE * mad)
+        delta = value - med
+        if not pol.gate:
+            status = "info"
+        elif abs(delta) <= band:
+            status = "ok"
+        elif pol.direction == "both":
+            status = "regressed"
+        elif pol.direction == "lower":
+            status = "regressed" if delta > 0 else "improved"
+        else:  # higher is better
+            status = "regressed" if delta < 0 else "improved"
+        verdicts.append(MetricVerdict(name, status, value, med, band=band,
+                                      gated=pol.gate))
+    for name in sorted(set(baseline.stats) - set(record.metrics)):
+        pol = _policy_for(name, policies)
+        med, _mad, _n = baseline.stats[name]
+        verdicts.append(MetricVerdict(name, "missing", None, med,
+                                      gated=pol.gate))
+    return RegressionReport(verdicts=verdicts,
+                            n_baseline_records=baseline.n_records)
+
+
+# -- the canonical probe workload --------------------------------------------
+
+
+def _downsample(series: list[tuple[float, float]], cap: int = 120
+                ) -> list[list[float]]:
+    """Thin a time series to <= cap points (always keeping the last)."""
+    if len(series) <= cap:
+        return [[t, v] for t, v in series]
+    stride = (len(series) + cap - 1) // cap
+    picked = series[::stride]
+    if picked[-1] != series[-1]:
+        picked.append(series[-1])
+    return [[t, v] for t, v in picked]
+
+
+def collect_run_record(n_steps: int = 10, n_buckets: int = 8,
+                       source: str = "cli",
+                       perturb: dict[str, float] | None = None,
+                       probe_interval_frac: float = 0.25,
+                       fault_seed: int = 0,
+                       repo_dir: str | Path | None = None) -> RunRecord:
+    """Run the canonical observability workload and record it.
+
+    Two phases: (1) a traced DES replay of the staging schedule with live
+    probes and SLO rules attached; (2) the seeded crash-recovery scenario
+    from :mod:`repro.faults`. ``perturb`` maps cost-model operation names
+    to rate multipliers — the knob tests and humans use to demonstrate
+    that an artificially slowed stage trips the gate.
+    """
+    from repro.core import ExperimentConfig, ScaledExperiment
+    from repro.costmodel.jaguar import jaguar_cost_model
+    from repro.faults import FaultConfig, run_resilience_experiment
+    from repro.obs.analysis import critical_path
+
+    wall_start = time.perf_counter()
+    cost = jaguar_cost_model()
+    for op, factor in (perturb or {}).items():
+        cost = cost.with_rate(op, cost.rate(op) * factor)
+    exp = ScaledExperiment(ExperimentConfig.paper_4896(), cost_model=cost)
+    sim_dt = exp.simulation_step_time()
+    probe_interval = max(sim_dt * probe_interval_frac, 1e-9)
+    tracer, sched, _expected = exp.traced_schedule(
+        n_steps=n_steps, n_buckets=n_buckets,
+        probe_interval=probe_interval)
+    totals = tracer.trace.stage_totals()
+    cp = critical_path(tracer.trace)
+    snap = tracer.metrics.snapshot()
+    counters = snap["counters"]
+    sampler = sched.probes
+
+    insitu = totals.get("insitu", 0.0)
+    simulation = totals.get("simulation", 0.0)
+    step_total = insitu + simulation
+    metrics: dict[str, float] = {
+        "trace.simulation_s": simulation,
+        "trace.insitu_s": insitu,
+        "trace.movement_intransit_s": (totals.get("movement", 0.0)
+                                       + totals.get("intransit", 0.0)),
+        "trace.insitu_share": insitu / step_total if step_total else 0.0,
+        "sched.makespan_s": sched.makespan,
+        "sched.max_queue_wait_s": sched.max_queue_wait(),
+        "cp.makespan_s": cp.makespan,
+        "cp.busy_s": cp.busy_time,
+        "cp.wait_s": cp.wait_time,
+        "count.tasks_done": counters.get("bucket.tasks_done", 0.0),
+        "count.bytes_pulled": counters.get("dart.bytes_pulled", 0.0),
+        "count.des_dispatch": counters.get("des.dispatch", 0.0),
+    }
+    alerts: list[dict[str, Any]] = []
+    probe_series: dict[str, list[list[float]]] = {}
+    if sampler is not None:
+        metrics["probe.samples"] = float(sampler.n_samples)
+        metrics["slo.alerts"] = float(len(sampler.alerts))
+        for gname, series in sampler.series.items():
+            if series:
+                metrics[f"probe.{gname}.max"] = max(v for _, v in series)
+        alerts = [a.to_dict() for a in sampler.alerts]
+        probe_series = {name: _downsample(series)
+                        for name, series in sampler.series.items()}
+
+    fault_report = run_resilience_experiment(
+        FaultConfig(seed=fault_seed, crash_rate=100.0, horizon=0.06),
+        n_tasks=32, n_buckets=4)
+    metrics.update(fault_report.to_metrics())
+    metrics["wall.record_s"] = time.perf_counter() - wall_start
+
+    meta = {
+        "n_steps": n_steps,
+        "n_buckets": n_buckets,
+        "perturb": dict(perturb or {}),
+        "probe_interval_s": probe_interval,
+        "alerts": alerts,
+        "probe_series": probe_series,
+        "stage_breakdown": exp.breakdown().fig6_series(),
+        "slo_rules": ([r.describe() for r in sampler.rules]
+                      if sampler is not None else []),
+        "host": os.uname().sysname if hasattr(os, "uname") else "unknown",
+    }
+    return RunRecord.new(source=source, metrics=metrics,
+                         machine=machine_fingerprint(exp.machine),
+                         meta=meta, repo_dir=repo_dir)

@@ -101,6 +101,11 @@ class DartTransport:
                                         name=f"nic:{node}")
         return self._nics[node]
 
+    def nic_busy_channels(self) -> int:
+        """NIC channels currently occupied by in-flight pulls, across all
+        nodes (the live-probe utilisation gauge)."""
+        return sum(nic.in_use for nic in self._nics.values())
+
     def pull(self, descriptor: DataDescriptor, dest_node: str,
              release: bool = True) -> Generator[Any, Any, Any]:
         """DES process: RDMA-Get the region into ``dest_node``.

@@ -194,6 +194,75 @@ class TestMetricsRegistry:
         assert "n" in text and "q" in text and "t" in text
         assert MetricsRegistry().summary() == "(no metrics)"
 
+    def test_empty_and_unset_instruments(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("never")
+        assert h.count == 0 and h.mean == 0.0
+        assert h.percentile(50) == 0.0  # no observations yet
+        assert h.vmin == 0.0 and h.vmax == 0.0
+        g = reg.gauge("untouched")
+        assert g.value == 0.0 and g.n_samples == 0
+        snap = reg.snapshot()
+        # never-touched instruments stay out of the snapshot entirely
+        assert "never" not in snap["histograms"]
+        assert "untouched" not in snap["gauges"]
+        json.dumps(snap)
+
+    def test_histogram_percentile_bounds(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(5.0)
+        for bad in (-0.1, 100.1):
+            with pytest.raises(ValueError):
+                h.percentile(bad)
+        assert h.percentile(0) == h.percentile(100) == 5.0
+
+    def test_histogram_sorted_view_invalidated_on_observe(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in (3.0, 1.0):
+            h.observe(v)
+        assert h.percentile(100) == 3.0  # caches the sorted view
+        h.observe(9.0)                   # must invalidate it
+        assert h.percentile(100) == 9.0
+        assert h.percentile(0) == 1.0
+
+    def test_histogram_reservoir_cap_bounds_memory(self):
+        reg = MetricsRegistry(histogram_max_samples=64)
+        h = reg.histogram("big")
+        for v in range(1000):
+            h.observe(float(v))
+        assert len(h.values) == 64          # storage bounded
+        assert h.count == 1000              # exact trackers unaffected
+        assert h.mean == pytest.approx(499.5)
+        assert h.vmin == 0.0 and h.vmax == 999.0
+        assert 0.0 <= h.percentile(50) <= 999.0
+
+    def test_histogram_reservoir_is_deterministic_per_name(self):
+        def fill(name):
+            h = MetricsRegistry(histogram_max_samples=16).histogram(name)
+            for v in range(200):
+                h.observe(float(v))
+            return list(h.values)
+
+        assert fill("a") == fill("a")   # seeded by name: reproducible
+        assert fill("a") != fill("b")   # distinct streams per instrument
+
+    def test_histogram_per_instrument_cap_override(self):
+        reg = MetricsRegistry(histogram_max_samples=1000)
+        h = reg.histogram("small", max_samples=8)
+        for v in range(100):
+            h.observe(float(v))
+        assert len(h.values) == 8
+        # the override binds on first creation only
+        assert reg.histogram("small", max_samples=99) is h
+        assert h.max_samples == 8
+
+    def test_histogram_uncapped_keeps_everything(self):
+        h = MetricsRegistry().histogram("all")
+        for v in range(500):
+            h.observe(float(v))
+        assert len(h.values) == 500
+        assert h.percentile(50) == pytest.approx(249.5, abs=1.0)
+
 
 class TestChromeExport:
     def test_valid_doc_with_instants_and_counters(self):

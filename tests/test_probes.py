@@ -1,0 +1,176 @@
+"""Tests for repro.obs.probes: DES-clock sampling and SLO rules."""
+
+import pytest
+
+from repro.core import ExperimentConfig, ScaledExperiment
+from repro.des import Engine
+from repro.obs.probes import (
+    ProbeSampler,
+    SloRule,
+    SummarySlo,
+    default_slos,
+    insitu_share_slo,
+    standard_probes,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+
+class TestProbeSampler:
+    def _drive(self, sampler, events):
+        """Run a bare engine whose clock hits the given instants."""
+        engine = Engine()
+        engine.attach_probe(sampler)
+        for t in events:
+            engine.call_at(t, lambda: None)
+        engine.run()
+        return engine
+
+    def test_samples_every_interval_boundary(self):
+        depth = [0.0]
+        sampler = ProbeSampler(1.0, {"q": lambda: depth[0]},
+                               tracer=NULL_TRACER)
+        self._drive(sampler, [0.5, 2.5, 5.0])
+        # boundaries 0,1,2 backfilled at t=2.5; 3,4,5 at t=5.0
+        assert [t for t, _ in sampler.series["q"]] == [0, 1, 2, 3, 4, 5]
+        assert sampler.n_samples == 6
+
+    def test_sample_sees_live_state(self):
+        state = {"v": 0.0}
+        sampler = ProbeSampler(1.0, {"v": lambda: state["v"]},
+                               tracer=NULL_TRACER)
+        engine = Engine()
+        engine.attach_probe(sampler)
+
+        def bump():
+            state["v"] = 7.0
+
+        engine.call_at(0.5, bump)
+        engine.call_at(2.0, lambda: None)
+        engine.run()
+        assert sampler.series["v"] == [(0.0, 0.0), (1.0, 7.0), (2.0, 7.0)]
+
+    def test_max_samples_caps_backfill(self):
+        sampler = ProbeSampler(0.001, {"x": lambda: 1.0},
+                               tracer=NULL_TRACER, max_samples=10)
+        self._drive(sampler, [100.0])
+        assert sampler.n_samples == 10
+
+    def test_sampled_rule_alerts_once_per_breach_episode(self):
+        depth = [0.0]
+        rule = SloRule(name="backlog", probe="q", op="<=", threshold=2.0)
+        sampler = ProbeSampler(1.0, {"q": lambda: depth[0]},
+                               slos=(rule,), tracer=NULL_TRACER)
+        engine = Engine()
+        engine.attach_probe(sampler)
+
+        def set_depth(v):
+            def fn():
+                depth[0] = v
+            return fn
+
+        engine.call_at(0.5, set_depth(5.0))   # breach at t=1,2 samples
+        engine.call_at(2.5, set_depth(1.0))   # recover at t=3
+        engine.call_at(4.5, set_depth(9.0))   # second breach at t=5
+        engine.call_at(6.0, lambda: None)
+        engine.run()
+        assert [a.t for a in sampler.alerts] == [1.0, 5.0]
+        assert all(a.rule == "backlog" for a in sampler.alerts)
+
+    def test_breach_emits_trace_instant(self):
+        depth = [10.0]
+        rule = SloRule(name="backlog", probe="q", op="<=", threshold=2.0)
+        tracer = Tracer(clock=lambda: 0.0)
+        sampler = ProbeSampler(1.0, {"q": lambda: depth[0]},
+                               slos=(rule,), tracer=tracer)
+        self._drive(sampler, [1.0])
+        breaches = [i for i in tracer.trace.instants
+                    if i.name == "slo.breach"]
+        assert len(breaches) == 1
+        assert breaches[0].tags["rule"] == "backlog"
+
+    def test_finalize_mirrors_gauge_envelope(self):
+        values = iter([3.0, 9.0, 1.0])
+        tracer = Tracer(clock=lambda: 0.0)
+        sampler = ProbeSampler(1.0, {"v": lambda: next(values)},
+                               tracer=tracer)
+        self._drive(sampler, [0.0, 1.0, 2.0])
+        sampler.finalize(tracer.trace)
+        gauge = tracer.metrics.gauges["probe.v"]
+        assert gauge.value == 1.0
+        assert gauge.vmin == 1.0 and gauge.vmax == 9.0
+
+    def test_summary_slo_evaluated_at_finalize(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        span = tracer.begin("sim", lane="x", stage="simulation")
+        tracer.end(span)
+        slo = SummarySlo(name="nonzero-sim",
+                         value_of=lambda totals: totals.get("simulation",
+                                                            0.0),
+                         op=">", threshold=10.0)
+        sampler = ProbeSampler(1.0, {}, slos=(slo,), tracer=tracer)
+        alerts = sampler.finalize(tracer.trace)
+        assert [a.rule for a in alerts] == ["nonzero-sim"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbeSampler(0.0, {})
+        with pytest.raises(ValueError):
+            ProbeSampler(1.0, {}, max_samples=0)
+        with pytest.raises(ValueError):
+            SloRule(name="r", probe="p", op="!=", threshold=1.0)
+
+
+class TestScheduleIntegration:
+    def test_traced_schedule_attaches_probes(self):
+        exp = ScaledExperiment(ExperimentConfig.paper_4896())
+        interval = exp.simulation_step_time() * 0.25
+        tracer, sched, _ = exp.traced_schedule(
+            n_steps=4, n_buckets=4, probe_interval=interval)
+        sampler = sched.probes
+        assert sampler is not None
+        assert sampler.n_samples > 0
+        assert set(sampler.series) == {
+            "sched.queue_depth", "sched.idle_buckets", "bucket.busy",
+            "nic.busy_channels", "rdma.live_bytes"}
+        # sampling must never disturb the deterministic schedule
+        _t2, sched2, _ = exp.traced_schedule(n_steps=4, n_buckets=4)
+        assert sched2.makespan == sched.makespan
+
+    def test_untraced_schedule_skips_probes(self):
+        exp = ScaledExperiment(ExperimentConfig.paper_4896())
+        sched = exp.run_schedule(n_steps=2, n_buckets=4,
+                                 probe_interval=1.0)
+        assert sched.probes is None  # tracer disabled -> no sampler
+
+    def test_insitu_share_slo_breaches_on_topology_workload(self):
+        exp = ScaledExperiment(ExperimentConfig.paper_4896())
+        tracer, sched, _ = exp.traced_schedule(
+            n_steps=4, n_buckets=4,
+            probe_interval=exp.simulation_step_time() * 0.25)
+        names = [a.rule for a in sched.probes.alerts]
+        # the full hybrid mix runs topology in-situ glue > 5% of the step
+        assert "insitu-share" in names
+
+    def test_default_slos_shapes(self):
+        rules = default_slos(8)
+        assert {r.name for r in rules} == {"queue-backlog", "insitu-share"}
+        share = insitu_share_slo(0.10)
+        assert share.healthy(0.05) and not share.healthy(0.20)
+        assert share.value_of({"insitu": 1.0, "simulation": 3.0}) == 0.25
+        assert share.value_of({}) == 0.0
+
+    def test_standard_probes_read_live_objects(self):
+        from repro.staging.dataspaces import DataSpaces
+        from repro.transport.dart import DartTransport
+
+        engine = Engine()
+        transport = DartTransport(engine)
+        ds = DataSpaces(engine, transport)
+        ds.spawn_buckets(["b0", "b1"])
+        probes = standard_probes(ds, transport)
+        engine.run()
+        assert probes["sched.queue_depth"]() == 0.0
+        assert probes["sched.idle_buckets"]() == 2.0
+        assert probes["bucket.busy"]() == 0.0
+        assert probes["nic.busy_channels"]() == 0.0
+        assert probes["rdma.live_bytes"]() == 0.0
