@@ -11,7 +11,14 @@ Commands:
 * ``schedule``  — replay the full-scale staging schedule and report
   queue behaviour for a bucket count;
 * ``trace``     — replay the schedule under the tracer and emit a
-  Chrome/Perfetto trace, critical-path report, and model reconciliation;
+  Chrome/Perfetto trace (with causal flow arrows), causal-vs-heuristic
+  critical-path reconciliation, and model reconciliation; ``--diff``
+  aligns the run against a previously exported trace and reports
+  per-bucket/per-stage/per-flow deltas (text + HTML);
+* ``blame``     — decompose the traced run's makespan (and each
+  timestep's end-to-end latency) into compute / transport / queue-wait /
+  retry-and-backoff / scheduler-idle buckets that sum exactly to the
+  window;
 * ``faults``    — run the staging workload under seeded fault injection
   and report recovery behaviour per scenario;
 * ``perf``      — cross-run performance: ``record`` appends the canonical
@@ -20,7 +27,8 @@ Commands:
   self-contained HTML dashboard.
 
 File-writing commands put their artifacts under ``--out-dir``
-(default ``repro_out/``) unless given explicit paths.
+(default ``repro_out/``): an explicit *relative* output path is placed
+under ``--out-dir`` too, while an absolute path is used as given.
 """
 
 from __future__ import annotations
@@ -28,6 +36,25 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from pathlib import Path
+
+
+def _resolve_out(explicit: str | None, out_dir: str, default_name: str
+                 ) -> Path:
+    """Resolve an output path against ``--out-dir``.
+
+    ``None`` -> ``<out-dir>/<default_name>``; a relative path lands under
+    ``--out-dir`` (so ``--out foo.json`` does not scatter artifacts into
+    the CWD); an absolute path is respected as given.
+    """
+    if explicit is None:
+        path = Path(out_dir) / default_name
+    else:
+        path = Path(explicit)
+        if not path.is_absolute():
+            path = Path(out_dir) / path
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return path
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -170,12 +197,10 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from pathlib import Path
-
     from repro.core import ExperimentConfig, ScaledExperiment
     from repro.obs import (
-        critical_path,
         lane_summary,
+        reconcile_paths,
         reconcile_table,
         reconcile_totals,
         validate_chrome_trace,
@@ -184,11 +209,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     )
     from repro.obs.tracer import tracing
 
-    out = Path(args.out) if args.out else Path(args.out_dir) / "repro_trace.json"
-    out.parent.mkdir(parents=True, exist_ok=True)
-    jsonl = Path(args.jsonl) if args.jsonl else None
-    if jsonl is not None:
-        jsonl.parent.mkdir(parents=True, exist_ok=True)
+    out = _resolve_out(args.out, args.out_dir, "repro_trace.json")
+    jsonl = (_resolve_out(args.jsonl, args.out_dir, "repro_trace.jsonl")
+             if args.jsonl else None)
 
     if args.functional:
         # Trace the laptop-scale functional pipeline (wall clock is the
@@ -232,8 +255,28 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     print(lane_summary(tracer.trace, clock=clock))
     print()
-    print(critical_path(tracer.trace).table())
+    paths = reconcile_paths(tracer.trace)
+    print(paths.table())
     print()
+    if not paths.ok:
+        print("critical-path reconciliation FAILED: the heuristic path "
+              "claims more time than recorded causality supports")
+        return 1
+
+    if args.diff:
+        from repro.obs import diff_traces, load_trace
+        from repro.obs.report import write_trace_diff
+
+        other = load_trace(args.diff)
+        diff = diff_traces(other, tracer.trace,
+                           a_label=Path(args.diff).stem, b_label="this run")
+        print(diff.table())
+        print()
+        diff_html = _resolve_out(args.diff_html, args.out_dir,
+                                 "trace_diff.html")
+        write_trace_diff(diff_html, diff)
+        print(f"wrote {diff_html}")
+        print()
 
     reconciled = True
     if expected is not None:
@@ -250,6 +293,45 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print()
     print(tracer.metrics.summary())
     return 0 if reconciled else 1
+
+
+def _cmd_blame(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import blame, load_trace
+
+    if args.trace:
+        trace = load_trace(args.trace)
+        source = args.trace
+    else:
+        from repro.core import ExperimentConfig, ScaledExperiment
+
+        exp = ScaledExperiment(ExperimentConfig.paper_4896())
+        tracer, _sched, _expected = exp.traced_schedule(
+            n_steps=args.steps, n_buckets=args.buckets,
+            analysis_interval=args.interval)
+        trace = tracer.trace
+        source = (f"paper_4896 schedule ({args.steps} steps, "
+                  f"{args.buckets} buckets)")
+
+    report = blame(trace)
+    print(f"source: {source}")
+    print(report.table())
+    out = _resolve_out(args.json, args.out_dir, "repro_blame.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report.to_dict(), fh, indent=2)
+    print(f"\nwrote {out}")
+
+    windows = [("overall", report.overall)] + [
+        (f"step {s.step}", s.breakdown) for s in report.steps]
+    bad = [name for name, bd in windows if not bd.check()]
+    if bad:
+        print(f"blame attribution FAILED: buckets do not sum to the "
+              f"window for {', '.join(bad)}")
+        return 1
+    print(f"exact-sum check: ok ({len(windows)} windows, buckets sum to "
+          f"each window within 1e-6)")
+    return 0
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
@@ -448,10 +530,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Chrome trace-event output path "
                         "(default: <out-dir>/repro_trace.json)")
     p.add_argument("--jsonl", default=None,
-                   help="also write a JSON-lines event log here")
+                   help="also write a JSON-lines event log here (relative "
+                        "paths land under --out-dir)")
     p.add_argument("--functional", action="store_true",
                    help="trace the laptop-scale functional pipeline instead "
                         "of the full-scale DES replay")
+    p.add_argument("--diff", default=None, metavar="OTHER",
+                   help="diff this run against a previously exported trace "
+                        "(JSONL keeps flow fidelity; the other run is the "
+                        "reference)")
+    p.add_argument("--diff-html", default=None,
+                   help="diff report HTML path "
+                        "(default: <out-dir>/trace_diff.html)")
+
+    p = sub.add_parser("blame", help="latency blame attribution over the "
+                                     "causal flow graph")
+    p.add_argument("--steps", type=int, default=10)
+    p.add_argument("--buckets", type=int, default=8)
+    p.add_argument("--interval", type=int, default=1,
+                   help="analysis interval (steps between analysed steps)")
+    p.add_argument("--trace", default=None,
+                   help="attribute an existing trace export (JSONL or "
+                        "Chrome JSON) instead of replaying the schedule")
+    p.add_argument("--out-dir", default="repro_out",
+                   help="artifact directory (default: repro_out/)")
+    p.add_argument("--json", default=None,
+                   help="blame report JSON path "
+                        "(default: <out-dir>/repro_blame.json)")
 
     p = sub.add_parser("faults", help="staging resilience under fault "
                                       "injection")
@@ -510,6 +615,7 @@ _COMMANDS = {
     "tradeoff": _cmd_tradeoff,
     "schedule": _cmd_schedule,
     "trace": _cmd_trace,
+    "blame": _cmd_blame,
     "faults": _cmd_faults,
     "perf": _cmd_perf,
 }

@@ -358,8 +358,19 @@ class HybridFramework:
         if self._tracer.enabled:
             with self._tracer.span(f"submit:{analysis}", lane="driver",
                                    category="insitu", stage="insitu",
-                                   analysis=analysis, step=step):
-                submit(step)
+                                   analysis=analysis, step=step) as sp:
+                # Start the causal flow at the in-situ stage so vmpi
+                # collective hops land on it; the submitted task adopts
+                # it via DataSpaces.next_flow.
+                flow = self._tracer.flow_begin("task", src_span=sp,
+                                               analysis=analysis, step=step)
+                self.dataspaces.next_flow = flow
+                self._stats_engine.comm.flow = flow
+                try:
+                    submit(step)
+                finally:
+                    self._stats_engine.comm.flow = None
+                    self.dataspaces.next_flow = None
             self._tracer.counter(f"framework.submit.{analysis}")
         else:
             submit(step)

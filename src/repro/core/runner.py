@@ -295,31 +295,41 @@ class ScaledExperiment:
         tracer = get_tracer()
         t = 0.0
         for step in range(n_steps):
+            sim_span = None
             if tracer.enabled:
                 # Model-time simulation timeline (the sim cores' lane).
-                tracer.add_span("sim.step", lane="sim-timeline",
-                                t_start=t, t_end=t + sim_dt, category="sim",
-                                stage="simulation", step=step)
+                sim_span = tracer.add_span("sim.step", lane="sim-timeline",
+                                           t_start=t, t_end=t + sim_dt,
+                                           category="sim",
+                                           stage="simulation", step=step)
             t += sim_dt
             if step % analysis_interval == 0:
+                src_span = sim_span
                 if tracer.enabled and insitu_total > 0.0:
-                    tracer.add_span("insitu", lane="sim-timeline",
-                                    t_start=t, t_end=t + insitu_total,
-                                    category="insitu", stage="insitu",
-                                    step=step)
+                    src_span = tracer.add_span("insitu", lane="sim-timeline",
+                                               t_start=t,
+                                               t_end=t + insitu_total,
+                                               category="insitu",
+                                               stage="insitu", step=step)
                 t += insitu_total
 
-                def submit(when_step: int = step) -> None:
-                    for variant in analyses:
-                        ds.submit_insitu_result(
-                            analysis=variant.value,
-                            timestep=when_step,
-                            source_node=f"sim-agg-{when_step}",
-                            payload=None,
-                            nbytes=self.workload.movement_bytes_total(variant),
-                            cost_op=f"service.{variant.name}",
-                            cost_elements=1,
-                        )
+                def submit(when_step: int = step, src=src_span) -> None:
+                    # Anchor each submitted task's causal flow at the
+                    # producing in-situ span (sim span if no in-situ work).
+                    ds.flow_src = src
+                    try:
+                        for variant in analyses:
+                            ds.submit_insitu_result(
+                                analysis=variant.value,
+                                timestep=when_step,
+                                source_node=f"sim-agg-{when_step}",
+                                payload=None,
+                                nbytes=self.workload.movement_bytes_total(variant),
+                                cost_op=f"service.{variant.name}",
+                                cost_elements=1,
+                            )
+                    finally:
+                        ds.flow_src = None
 
                 engine.call_at(t, submit)
         # Shutdown only after the last submission has been issued (the

@@ -87,6 +87,7 @@ def run_resilience_experiment(config: FaultConfig | None = None,
                               max_retries: int = 3,
                               lease_timeout: float = 5.0e-3,
                               pull_max_attempts: int = 4,
+                              pull_backoff_base: float | None = None,
                               bucket_restart_delay: float | None = None,
                               max_bucket_restarts: int = 0,
                               ) -> ResilienceReport:
@@ -99,7 +100,11 @@ def run_resilience_experiment(config: FaultConfig | None = None,
     """
     config = config or FaultConfig()
     engine = Engine()
-    transport = DartTransport(engine, pull_max_attempts=pull_max_attempts)
+    transport_kwargs = {}
+    if pull_backoff_base is not None:
+        transport_kwargs["pull_backoff_base"] = pull_backoff_base
+    transport = DartTransport(engine, pull_max_attempts=pull_max_attempts,
+                              **transport_kwargs)
     ds = DataSpaces(engine, transport, n_servers=2,
                     lease_timeout=lease_timeout,
                     bucket_restart_delay=bucket_restart_delay,

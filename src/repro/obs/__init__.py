@@ -12,6 +12,12 @@ The observability subsystem for the hybrid pipeline:
   event logs, and text summaries.
 * Analysis — :func:`critical_path` extraction over the span DAG and
   :func:`reconcile_totals` against :mod:`repro.core.breakdown` figures.
+* Causal flows — :class:`FlowContext` hand-off edges recorded through
+  every pipeline boundary (submit → scheduler → bucket → pull →
+  in-transit), driving the exact :func:`causal_critical_path`, the
+  :func:`blame` attribution (five buckets summing exactly to the
+  makespan), and :func:`diff_traces` run-vs-run comparison
+  (``python -m repro blame``, ``python -m repro trace --diff``).
 * Cross-run performance — :class:`RunStore` append-only run records,
   :func:`compare_record` regression gating against a rolling
   :class:`Baseline`, :class:`ProbeSampler` live DES-clock probes with SLO
@@ -33,18 +39,38 @@ Or drive the packaged campaign: ``python -m repro trace``.
 
 from repro.obs.analysis import (
     CriticalPath,
+    PathReconcile,
     ReconcileRow,
+    causal_critical_path,
     critical_path,
+    reconcile_paths,
     reconcile_table,
     reconcile_totals,
 )
+from repro.obs.blame import (
+    BlameBreakdown,
+    BlameReport,
+    StepBlame,
+    TraceDiff,
+    blame,
+    diff_traces,
+    flow_edge_totals,
+)
 from repro.obs.export import (
     lane_summary,
+    load_trace,
+    load_trace_jsonl,
     to_chrome_trace,
     to_jsonl_lines,
     validate_chrome_trace,
     write_chrome_trace,
     write_jsonl,
+)
+from repro.obs.flow import (
+    BLAME_BUCKETS,
+    EDGE_KINDS,
+    FlowContext,
+    FlowHop,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.perf import (
@@ -68,7 +94,12 @@ from repro.obs.probes import (
     insitu_share_slo,
     standard_probes,
 )
-from repro.obs.report import render_dashboard, write_dashboard
+from repro.obs.report import (
+    render_dashboard,
+    render_trace_diff,
+    write_dashboard,
+    write_trace_diff,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     InstantRecord,
@@ -85,10 +116,26 @@ from repro.obs.tracer import (
 
 __all__ = [
     "CriticalPath",
+    "PathReconcile",
     "ReconcileRow",
+    "causal_critical_path",
     "critical_path",
+    "reconcile_paths",
     "reconcile_table",
     "reconcile_totals",
+    "BlameBreakdown",
+    "BlameReport",
+    "StepBlame",
+    "TraceDiff",
+    "blame",
+    "diff_traces",
+    "flow_edge_totals",
+    "BLAME_BUCKETS",
+    "EDGE_KINDS",
+    "FlowContext",
+    "FlowHop",
+    "load_trace",
+    "load_trace_jsonl",
     "lane_summary",
     "to_chrome_trace",
     "to_jsonl_lines",
@@ -117,7 +164,9 @@ __all__ = [
     "insitu_share_slo",
     "standard_probes",
     "render_dashboard",
+    "render_trace_diff",
     "write_dashboard",
+    "write_trace_diff",
     "NULL_TRACER",
     "InstantRecord",
     "NullTracer",

@@ -10,19 +10,29 @@ an engine-attached run) in microseconds; pass ``clock="wall"`` to export
 the wall-clock timeline of a functional run instead.
 
 :func:`validate_chrome_trace` is the structural checker the CLI and tests
-use: every event carries ``name/ph/ts/pid/tid`` and ``B``/``E`` pairs
-balance per lane row.
+use: every event carries ``name/ph/ts/pid/tid``, ``B``/``E`` pairs
+balance per lane row, and flow events (``s``/``t``/``f``) pair up per
+``id`` and bind inside a slice on their row.
+
+Recorded flows (:class:`~repro.obs.flow.FlowContext`) export as Chrome
+flow events — Perfetto draws them as arrows from the producer span
+through every intermediate hand-off span to the consumer — and as
+full-fidelity ``{"type": "flow"}`` JSON lines. :func:`load_trace` /
+:func:`load_trace_jsonl` reconstruct a :class:`Trace` from either file
+format so two runs can be diffed offline (``repro trace --diff``).
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import math
 from collections.abc import Iterator
 from typing import Any
 
+from repro.obs.flow import FlowContext, FlowHop
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracer import SpanRecord, Trace
+from repro.obs.tracer import InstantRecord, SpanRecord, Trace
 from repro.util.tables import TextTable
 
 __all__ = [
@@ -31,6 +41,8 @@ __all__ = [
     "validate_chrome_trace",
     "to_jsonl_lines",
     "write_jsonl",
+    "load_trace",
+    "load_trace_jsonl",
     "lane_summary",
 ]
 
@@ -109,6 +121,50 @@ def _row_events(row: list[SpanRecord], pid: int, tid: int, clock: str
     return events
 
 
+def _flow_events(trace: Trace, row_of: dict[int, tuple[int, int]],
+                 clock: str) -> list[dict[str, Any]]:
+    """Chrome flow events (``ph`` s/t/f) for every drawable flow.
+
+    The arrow starts inside the producer span (``s`` at its end), steps
+    through each intermediate chain span (``t`` at its start), and ends
+    at the consumer span's start (``f`` with ``bp: "e"`` so viewers bind
+    it to the enclosing slice). A flow needs at least two chain spans on
+    exported rows to draw; shorter or unclosed flows are skipped.
+    """
+    events: list[dict[str, Any]] = []
+    span_of = trace.span_map()
+    for flow in trace.flows:
+        if not flow.closed:
+            continue
+        chain = [span_of[sid] for sid in flow.span_ids()
+                 if sid in span_of and sid in row_of]
+        if len(chain) < 2:
+            continue
+        name = f"flow:{flow.kind}"
+        for i, span in enumerate(chain):
+            start, end = _span_times(span, clock)
+            pid, tid = row_of[span.span_id]
+            event: dict[str, Any] = {
+                "name": name, "cat": "flow", "id": flow.flow_id,
+                "pid": pid, "tid": tid,
+            }
+            if i == 0:
+                event["ph"] = "s"
+                event["ts"] = end * _US
+                args = _json_safe(flow.tags)
+                if args:
+                    event["args"] = args
+            elif i == len(chain) - 1:
+                event["ph"] = "f"
+                event["bp"] = "e"
+                event["ts"] = start * _US
+            else:
+                event["ph"] = "t"
+                event["ts"] = start * _US
+            events.append(event)
+    return events
+
+
 def to_chrome_trace(trace: Trace, metrics: MetricsRegistry | None = None,
                     clock: str = "trace") -> dict[str, Any]:
     """Convert a trace (and optional counter series) to a Chrome trace doc."""
@@ -125,10 +181,15 @@ def to_chrome_trace(trace: Trace, metrics: MetricsRegistry | None = None,
     spans_by_lane: dict[str, list[SpanRecord]] = {}
     for span in trace.closed_spans():
         spans_by_lane.setdefault(span.lane, []).append(span)
+    row_of: dict[int, tuple[int, int]] = {}
     for lane, spans in spans_by_lane.items():
         pid = pid_of[lane]
         for tid, row in enumerate(_assign_rows(spans, clock)):
+            for span in row:
+                row_of[span.span_id] = (pid, tid)
             events.extend(_row_events(row, pid, tid, clock))
+
+    events.extend(_flow_events(trace, row_of, clock))
 
     for inst in trace.instants:
         event: dict[str, Any] = {"name": inst.name, "ph": "i",
@@ -178,14 +239,18 @@ def validate_chrome_trace(doc: dict[str, Any]) -> list[str]:
     """Structural validation; returns a list of problems (empty = valid).
 
     Checks: the document shape, that every event carries
-    ``name/ph/ts/pid/tid``, and that ``B``/``E`` pairs balance (LIFO, name
-    matched) per ``(pid, tid)`` lane row.
+    ``name/ph/ts/pid/tid``, that ``B``/``E`` pairs balance (LIFO, name
+    matched) per ``(pid, tid)`` lane row, and that flow events
+    (``s``/``t``/``f``) carry an ``id``, pair a start with a finish in
+    time order, and bind inside some slice on their row.
     """
     problems: list[str] = []
     events = doc.get("traceEvents")
     if not isinstance(events, list):
         return ["document has no 'traceEvents' list"]
-    stacks: dict[tuple[Any, Any], list[str]] = {}
+    stacks: dict[tuple[Any, Any], list[tuple[str, float]]] = {}
+    intervals: dict[tuple[Any, Any], list[tuple[float, float]]] = {}
+    flow_events: list[tuple[int, dict[str, Any]]] = []
     for i, event in enumerate(events):
         missing = [k for k in ("name", "ph", "ts", "pid", "tid")
                    if k not in event]
@@ -194,21 +259,52 @@ def validate_chrome_trace(doc: dict[str, Any]) -> list[str]:
             continue
         key = (event["pid"], event["tid"])
         if event["ph"] == "B":
-            stacks.setdefault(key, []).append(event["name"])
+            stacks.setdefault(key, []).append((event["name"], event["ts"]))
         elif event["ph"] == "E":
             stack = stacks.get(key)
             if not stack:
                 problems.append(f"event {i}: E {event['name']!r} on "
                                 f"pid/tid {key} with no open B")
-            elif stack[-1] != event["name"]:
+                continue
+            name, start_ts = stack[-1]
+            if name != event["name"]:
                 problems.append(f"event {i}: E {event['name']!r} closes "
-                                f"B {stack[-1]!r} on pid/tid {key}")
-                stack.pop()
-            else:
-                stack.pop()
+                                f"B {name!r} on pid/tid {key}")
+            stack.pop()
+            intervals.setdefault(key, []).append((start_ts, event["ts"]))
+        elif event["ph"] in ("s", "t", "f"):
+            flow_events.append((i, event))
     for key, stack in stacks.items():
         if stack:
-            problems.append(f"pid/tid {key} ends with unclosed spans {stack}")
+            names = [name for name, _ in stack]
+            problems.append(f"pid/tid {key} ends with unclosed spans {names}")
+
+    flows: dict[Any, dict[str, float]] = {}
+    for i, event in flow_events:
+        if "id" not in event:
+            problems.append(f"event {i}: flow event {event['name']!r} "
+                            f"({event['ph']}) has no 'id'")
+            continue
+        record = flows.setdefault(event["id"], {})
+        ph, ts = event["ph"], event["ts"]
+        if ph in record and ph in ("s", "f"):
+            problems.append(f"event {i}: flow id {event['id']} has a "
+                            f"duplicate {ph!r} event")
+        record[ph] = max(ts, record.get(ph, ts)) if ph == "t" else ts
+        key = (event["pid"], event["tid"])
+        spans = intervals.get(key, [])
+        if not any(start <= ts <= end for start, end in spans):
+            problems.append(f"event {i}: flow event {event['name']!r} "
+                            f"({ph}) at ts {ts} binds to no slice on "
+                            f"pid/tid {key}")
+    for flow_id, record in flows.items():
+        if "s" not in record:
+            problems.append(f"flow id {flow_id} has no start (s) event")
+        if "f" not in record:
+            problems.append(f"flow id {flow_id} has no finish (f) event")
+        if "s" in record and "f" in record and record["f"] < record["s"]:
+            problems.append(f"flow id {flow_id} finishes (ts {record['f']})"
+                            f" before it starts (ts {record['s']})")
     return problems
 
 
@@ -232,6 +328,18 @@ def to_jsonl_lines(trace: Trace, metrics: MetricsRegistry | None = None
             "t": inst.t, "wall_t": inst.wall_t,
             "tags": _json_safe(inst.tags),
         })
+    for flow in trace.flows:
+        yield json.dumps({
+            "type": "flow", "flow_id": flow.flow_id, "kind": flow.kind,
+            "t_begin": flow.t_begin,
+            "src_span_id": flow.src_span_id,
+            "dst_span_id": flow.dst_span_id,
+            "tags": _json_safe(flow.tags),
+            "hops": [{"t": hop.t, "kind": hop.kind, "lane": hop.lane,
+                      "span_id": hop.span_id,
+                      "tags": _json_safe(hop.tags)}
+                     for hop in flow.hops],
+        })
     if metrics is not None:
         yield json.dumps({"type": "metrics", **metrics.snapshot()})
 
@@ -245,6 +353,119 @@ def write_jsonl(path: str, trace: Trace,
             fh.write(line + "\n")
             n += 1
     return n
+
+
+def load_trace_jsonl(path: str) -> Trace:
+    """Reconstruct a :class:`Trace` from a JSON-lines export.
+
+    Full fidelity: spans (with ids and tags), instants, and flows with
+    their complete hop chains — everything :func:`repro.obs.blame.blame`
+    and ``repro trace --diff`` need. Metrics lines are skipped.
+    """
+    trace = Trace()
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            kind = rec.get("type")
+            if kind == "span":
+                trace.spans.append(SpanRecord(
+                    name=rec["name"], lane=rec["lane"],
+                    span_id=rec["span_id"], parent_id=rec.get("parent_id"),
+                    t_start=rec["t_start"],
+                    wall_start=rec.get("wall_start", rec["t_start"]),
+                    category=rec.get("category"),
+                    tags=rec.get("tags") or {},
+                    t_end=(rec["t_end"] if rec.get("t_end") is not None
+                           else math.nan),
+                    wall_end=(rec["wall_end"]
+                              if rec.get("wall_end") is not None
+                              else math.nan),
+                ))
+            elif kind == "instant":
+                trace.instants.append(InstantRecord(
+                    name=rec["name"], lane=rec["lane"], t=rec["t"],
+                    wall_t=rec.get("wall_t", rec["t"]),
+                    tags=rec.get("tags") or {}))
+            elif kind == "flow":
+                trace.flows.append(FlowContext(
+                    flow_id=rec["flow_id"], kind=rec["kind"],
+                    t_begin=rec["t_begin"],
+                    src_span_id=rec.get("src_span_id"),
+                    dst_span_id=rec.get("dst_span_id"),
+                    tags=rec.get("tags") or {},
+                    hops=[FlowHop(t=h["t"], kind=h["kind"],
+                                  lane=h["lane"],
+                                  span_id=h.get("span_id"),
+                                  tags=h.get("tags") or {})
+                          for h in rec.get("hops", [])]))
+    trace.version = len(trace.spans)
+    return trace
+
+
+def load_trace(path: str) -> Trace:
+    """Load a trace from either export format, sniffing the content.
+
+    A Chrome trace document (``{"traceEvents": [...]}``) reconstructs
+    spans from balanced ``B``/``E`` pairs and instants from ``i`` events
+    (lane names from ``process_name`` metadata; flows are not
+    reconstructed — hop detail is only in the JSONL format). Anything
+    else is parsed as JSON lines via :func:`load_trace_jsonl`.
+    """
+    with open(path, encoding="utf-8") as fh:
+        head = fh.read(4096).lstrip()
+    if '"traceEvents"' not in head:
+        # JSONL lines carry a "type" key, never a traceEvents wrapper.
+        return load_trace_jsonl(path)
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: neither a Chrome trace nor JSON lines")
+    lane_of_pid: dict[Any, str] = {}
+    for event in events:
+        if (event.get("ph") == "M" and event.get("name") == "process_name"):
+            lane_of_pid[event["pid"]] = event.get("args", {}).get(
+                "name", f"pid-{event['pid']}")
+    trace = Trace()
+    next_id = itertools.count(1)
+    stacks: dict[tuple[Any, Any], list[SpanRecord]] = {}
+    for event in sorted((e for e in events if "ts" in e),
+                        key=lambda e: e["ts"]):
+        ph = event.get("ph")
+        pid = event.get("pid")
+        lane = lane_of_pid.get(pid, f"pid-{pid}")
+        if lane == "metrics":
+            continue
+        t = event["ts"] / _US
+        if ph == "B":
+            key = (pid, event.get("tid"))
+            stack = stacks.setdefault(key, [])
+            span = SpanRecord(
+                name=event["name"], lane=lane, span_id=next(next_id),
+                parent_id=stack[-1].span_id if stack else None,
+                t_start=t, wall_start=t,
+                category=event.get("cat"),
+                tags=event.get("args") or {})
+            trace.spans.append(span)
+            stack.append(span)
+        elif ph == "E":
+            stack = stacks.get((pid, event.get("tid")))
+            if stack:
+                span = stack.pop()
+                span.t_end = t
+                span.wall_end = t
+        elif ph == "i":
+            trace.instants.append(InstantRecord(
+                name=event["name"], lane=lane, t=t, wall_t=t,
+                tags=event.get("args") or {}))
+    trace.version = len(trace.spans)
+    return trace
 
 
 def lane_summary(trace: Trace, clock: str = "trace") -> str:

@@ -24,9 +24,21 @@ import html
 from pathlib import Path
 from typing import Any
 
+from repro.obs.blame import TraceDiff
+from repro.obs.flow import BLAME_BUCKETS
 from repro.obs.perf import RegressionReport, RunRecord
 
-__all__ = ["render_dashboard", "write_dashboard"]
+__all__ = ["render_dashboard", "write_dashboard",
+           "render_trace_diff", "write_trace_diff"]
+
+#: Blame bucket -> reserved palette slot (stable across panels).
+_BUCKET_COLORS = {
+    "compute": "var(--series-1)",
+    "transport": "var(--series-2)",
+    "queue_wait": "var(--series-3)",
+    "retry_backoff": "var(--warning)",
+    "scheduler_idle": "var(--muted)",
+}
 
 _STAGE_SERIES = (  # fixed order -> categorical slots 1..3
     ("in-situ", "var(--series-1)"),
@@ -402,6 +414,152 @@ def render_dashboard(records: list[RunRecord],
                  "</footer>")
     parts.append("</body></html>")
     return "\n".join(parts)
+
+
+def _blame_stack_panel(diff: TraceDiff) -> list[str]:
+    """Two stacked bars (run A over run B), each split into the five
+    blame buckets on a shared linear scale — the visual answer to
+    "where did the extra time go"."""
+    width, bar_h, gap = 560, 18, 2
+    label_w, value_w = 150, 90
+    plot_w = width - label_w - value_w
+    rows = [
+        (diff.a_label, {k: v[0] for k, v in diff.blame_buckets.items()}),
+        (diff.b_label, {k: v[1] for k, v in diff.blame_buckets.items()}),
+    ]
+    totals = {label: sum(bars.values()) for label, bars in rows}
+    scale_max = max(totals.values(), default=0.0) or 1.0
+    parts = ['<div class="panel">', '<div class="legend">']
+    for bucket in BLAME_BUCKETS:
+        parts.append(f'<span><span class="swatch" '
+                     f'style="background:{_BUCKET_COLORS[bucket]}"></span>'
+                     f'{_esc(bucket)}</span>')
+    parts.append("</div>")
+    svg_h = len(rows) * (bar_h + 10) + 4
+    parts.append(f'<svg width="{width}" height="{svg_h}" '
+                 f'viewBox="0 0 {width} {svg_h}" role="img" '
+                 f'aria-label="blame bucket comparison">')
+    y = 2.0
+    for label, bars in rows:
+        parts.append(f'<text x="{label_w - 8}" y="{y + bar_h - 5}" '
+                     f'text-anchor="end" fill="var(--text-2)" '
+                     f'font-size="12">{_esc(label)}</text>')
+        x = float(label_w)
+        for bucket in BLAME_BUCKETS:
+            value = bars.get(bucket, 0.0)
+            if value <= 0:
+                continue
+            w = max(plot_w * value / scale_max - gap, 1.0)
+            title = f"{_esc(label)} — {_esc(bucket)}: {value:.4f} s"
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" '
+                f'height="{bar_h}" rx="2" '
+                f'fill="{_BUCKET_COLORS[bucket]}">'
+                f'<title>{title}</title></rect>')
+            x += w + gap
+        parts.append(f'<text x="{x + 6:.1f}" y="{y + bar_h - 5}" '
+                     f'fill="var(--text-1)" font-size="12">'
+                     f'{totals[label]:.2f} s</text>')
+        y += bar_h + 10
+    parts.append("</svg></div>")
+    return parts
+
+
+def _diff_tables_panel(diff: TraceDiff, max_flows: int = 12) -> list[str]:
+    parts = ['<div class="panel">']
+    parts.append(f"<table><tr><th>blame bucket</th>"
+                 f"<th class='num'>{_esc(diff.a_label)} (s)</th>"
+                 f"<th class='num'>{_esc(diff.b_label)} (s)</th>"
+                 f"<th class='num'>delta (s)</th>"
+                 f"<th class='num'>share of Δmakespan</th></tr>")
+    for bucket in BLAME_BUCKETS:
+        a, b = diff.blame_buckets.get(bucket, (0.0, 0.0))
+        delta = b - a
+        cls = ("up" if delta > 1e-12 else "down" if delta < -1e-12 else "")
+        share = (f"{100 * diff.blame_delta_share(bucket):.1f}%"
+                 if diff.makespan_delta else "—")
+        parts.append(
+            f"<tr><td><span class='swatch' style='background:"
+            f"{_BUCKET_COLORS[bucket]}'></span> {_esc(bucket)}</td>"
+            f"<td class='num'>{_fmt(a)}</td><td class='num'>{_fmt(b)}</td>"
+            f"<td class='num'><span class='delta {cls}'>{delta:+.4g}"
+            f"</span></td><td class='num'>{share}</td></tr>")
+    parts.append("</table>")
+    if diff.flows:
+        parts.append(f"<details><summary>Largest per-flow latency deltas "
+                     f"({min(max_flows, len(diff.flows))} of "
+                     f"{len(diff.flows)} aligned flows)</summary>"
+                     f"<table><tr><th>flow</th>"
+                     f"<th class='num'>{_esc(diff.a_label)} (s)</th>"
+                     f"<th class='num'>{_esc(diff.b_label)} (s)</th>"
+                     f"<th class='num'>delta (s)</th></tr>")
+        for fd in diff.flows[:max_flows]:
+            parts.append(f"<tr><td>{_esc(fd.key)}</td>"
+                         f"<td class='num'>{_fmt(fd.latency_a)}</td>"
+                         f"<td class='num'>{_fmt(fd.latency_b)}</td>"
+                         f"<td class='num'>{fd.delta:+.4g}</td></tr>")
+        parts.append("</table></details>")
+    if diff.edge_totals:
+        parts.append(f"<details><summary>Flow-edge totals</summary>"
+                     f"<table><tr><th>edge kind</th>"
+                     f"<th class='num'>{_esc(diff.a_label)} (s)</th>"
+                     f"<th class='num'>{_esc(diff.b_label)} (s)</th>"
+                     f"<th class='num'>delta (s)</th></tr>")
+        for kind in sorted(diff.edge_totals):
+            a, b = diff.edge_totals[kind]
+            parts.append(f"<tr><td>{_esc(kind)}</td>"
+                         f"<td class='num'>{_fmt(a)}</td>"
+                         f"<td class='num'>{_fmt(b)}</td>"
+                         f"<td class='num'>{b - a:+.4g}</td></tr>")
+        parts.append("</table></details>")
+    if diff.unmatched_a or diff.unmatched_b:
+        parts.append(f'<div class="ok-line">unmatched flows: '
+                     f'{diff.unmatched_a} only in {_esc(diff.a_label)}, '
+                     f'{diff.unmatched_b} only in {_esc(diff.b_label)}'
+                     f'</div>')
+    parts.append("</div>")
+    return parts
+
+
+def render_trace_diff(diff: TraceDiff,
+                      title: str = "repro — trace diff") -> str:
+    """Render a :class:`~repro.obs.blame.TraceDiff` as a standalone HTML
+    page in the dashboard's visual language (inline SVG, no JS)."""
+    dominant = diff.dominant_bucket()
+    delta = diff.makespan_delta
+    cls = "up" if delta > 1e-12 else "down" if delta < -1e-12 else ""
+    parts: list[str] = [
+        "<!DOCTYPE html>", '<html lang="en"><head>',
+        '<meta charset="utf-8">',
+        '<meta name="viewport" content="width=device-width, '
+        'initial-scale=1">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_CSS}</style>", "</head>",
+        '<body class="viz-root">',
+        f"<h1>{_esc(title)}</h1>",
+        f'<p class="meta">{_esc(diff.b_label)} vs {_esc(diff.a_label)} — '
+        f'makespan {_fmt(diff.makespan_b)} s vs {_fmt(diff.makespan_a)} s '
+        f'(<span class="delta {cls}">{delta:+.4g} s</span>)'
+        + (f'; dominant bucket: <code>{_esc(dominant)}</code>'
+           if dominant else "") + "</p>",
+        "<h2>Blame buckets</h2>",
+    ]
+    parts.extend(_blame_stack_panel(diff))
+    parts.append("<h2>Deltas</h2>")
+    parts.extend(_diff_tables_panel(diff))
+    parts.append("<footer>generated by <code>python -m repro trace "
+                 "--diff</code> — self-contained, no external assets"
+                 "</footer>")
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_trace_diff(path: str | Path, diff: TraceDiff,
+                     title: str = "repro — trace diff") -> Path:
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_trace_diff(diff, title), encoding="utf-8")
+    return out
 
 
 def write_dashboard(path: str | Path, records: list[RunRecord],

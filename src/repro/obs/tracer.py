@@ -33,6 +33,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs.flow import FlowContext, FlowHop
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 
 __all__ = [
@@ -64,6 +65,10 @@ class SpanRecord:
     tags: dict[str, Any] = field(default_factory=dict)
     t_end: float = math.nan
     wall_end: float = math.nan
+    #: Flow ids arriving at / leaving this span (None until a flow binds,
+    #: so untraced spans pay nothing for the causal layer).
+    flow_in: list[int] | None = None
+    flow_out: list[int] | None = None
 
     @property
     def closed(self) -> bool:
@@ -101,6 +106,14 @@ class Trace:
 
     spans: list[SpanRecord] = field(default_factory=list)
     instants: list[InstantRecord] = field(default_factory=list)
+    flows: list[FlowContext] = field(default_factory=list)
+    #: Bumped by the tracer whenever a span closes (the set that feeds
+    #: :meth:`spans_with` changed) — invalidates the lazy tag index.
+    version: int = 0
+    _tag_index: dict[tuple[str, Any], list[SpanRecord]] | None = field(
+        default=None, repr=False, compare=False)
+    _tag_index_key: tuple[int, int] | None = field(
+        default=None, repr=False, compare=False)
 
     def lanes(self) -> list[str]:
         seen = {s.lane for s in self.spans} | {i.lane for i in self.instants}
@@ -112,10 +125,52 @@ class Trace:
     def open_spans(self) -> list[SpanRecord]:
         return [s for s in self.spans if not s.closed]
 
+    def span_map(self) -> dict[int, SpanRecord]:
+        """Span id -> span, for resolving flow chains."""
+        return {s.span_id: s for s in self.spans}
+
+    def _index(self) -> dict[tuple[str, Any], list[SpanRecord]]:
+        """(key, value) -> closed spans, rebuilt when the trace changed.
+
+        Unhashable tag *values* are left out of the index; they are only
+        reachable through the linear fallback in :meth:`spans_with`
+        (which an unhashable *query* value triggers).
+        """
+        key = (self.version, len(self.spans))
+        if self._tag_index is None or self._tag_index_key != key:
+            index: dict[tuple[str, Any], list[SpanRecord]] = {}
+            for s in self.spans:
+                if not s.closed:
+                    continue
+                for k, v in s.tags.items():
+                    try:
+                        index.setdefault((k, v), []).append(s)
+                    except TypeError:
+                        pass
+            self._tag_index = index
+            self._tag_index_key = key
+        return self._tag_index
+
     def spans_with(self, **tags: Any) -> list[SpanRecord]:
-        """Closed spans whose tags include every given key/value."""
-        return [s for s in self.closed_spans()
-                if all(s.tags.get(k) == v for k, v in tags.items())]
+        """Closed spans whose tags include every given key/value.
+
+        Served from a lazy tag index (one dict probe per tag) instead of
+        a full scan; blame and diff call this per step, per stage.
+        """
+        if not tags:
+            return self.closed_spans()
+        try:
+            index = self._index()
+            groups = [index.get((k, v), []) for k, v in tags.items()]
+        except TypeError:  # unhashable query value: fall back to a scan
+            return [s for s in self.closed_spans()
+                    if all(s.tags.get(k) == v for k, v in tags.items())]
+        if len(groups) == 1:
+            return list(groups[0])
+        smallest = min(groups, key=len)
+        rest = [(k, v) for k, v in tags.items()]
+        return [s for s in smallest
+                if all(s.tags.get(k) == v for k, v in rest)]
 
     def stage_totals(self, clock: str = "trace") -> dict[str, float]:
         """Total duration per ``stage`` tag (spans without one are skipped).
@@ -147,6 +202,7 @@ class Tracer:
         self.trace = Trace()
         self._stacks: dict[str, list[SpanRecord]] = {}
         self._ids = itertools.count(1)
+        self._flow_ids = itertools.count(1)
 
     # -- clocks --------------------------------------------------------------
 
@@ -188,6 +244,7 @@ class Tracer:
         stack = self._stacks.get(span.lane)
         if stack and span in stack:
             stack.remove(span)
+        self.trace.version += 1
         return span
 
     @contextmanager
@@ -213,7 +270,74 @@ class Tracer:
                          wall_start=wall, category=category, tags=tags,
                          t_end=t_end, wall_end=wall)
         self.trace.spans.append(rec)
+        self.trace.version += 1
         return rec
+
+    # -- causal flows --------------------------------------------------------
+
+    def flow_begin(self, kind: str, src_span: SpanRecord | None = None,
+                   t: float | None = None, **tags: Any) -> FlowContext:
+        """Open a causal flow, optionally anchored at a producer span.
+
+        The returned context is carried by value through every hand-off;
+        downstream layers append hops with :meth:`flow_step` /
+        :meth:`flow_through` and close it with :meth:`flow_end`.
+        """
+        flow = FlowContext(
+            flow_id=next(self._flow_ids), kind=kind,
+            t_begin=self.now() if t is None else t,
+            src_span_id=src_span.span_id if src_span is not None else None,
+            tags=tags,
+        )
+        if src_span is not None:
+            if src_span.flow_out is None:
+                src_span.flow_out = []
+            src_span.flow_out.append(flow.flow_id)
+        self.trace.flows.append(flow)
+        return flow
+
+    def flow_step(self, flow: FlowContext | None, kind: str, lane: str,
+                  t: float | None = None, **tags: Any) -> FlowHop | None:
+        """Record a checkpoint hop: the flow reached ``lane`` at ``t``,
+        and the time since the previous hop is explained by ``kind``."""
+        if flow is None:
+            return None
+        hop = FlowHop(t=self.now() if t is None else t, kind=kind,
+                      lane=lane, tags=tags)
+        flow.hops.append(hop)
+        return hop
+
+    def flow_through(self, flow: FlowContext | None, kind: str,
+                     span: SpanRecord, **tags: Any) -> FlowHop | None:
+        """Record the flow entering ``span`` (a wire transfer, a bucket
+        task body): hop time is the span's start, and the span carries
+        the flow id both in and out."""
+        if flow is None:
+            return None
+        hop = FlowHop(t=span.t_start, kind=kind, lane=span.lane,
+                      span_id=span.span_id, tags=tags)
+        flow.hops.append(hop)
+        if span.flow_in is None:
+            span.flow_in = []
+        span.flow_in.append(flow.flow_id)
+        if span.flow_out is None:
+            span.flow_out = []
+        span.flow_out.append(flow.flow_id)
+        return hop
+
+    def flow_end(self, flow: FlowContext | None, kind: str,
+                 span: SpanRecord, **tags: Any) -> FlowContext | None:
+        """Close the flow at its destination span (the in-transit compute
+        span that consumed the work)."""
+        if flow is None:
+            return None
+        flow.hops.append(FlowHop(t=span.t_start, kind=kind, lane=span.lane,
+                                 span_id=span.span_id, tags=tags))
+        flow.dst_span_id = span.span_id
+        if span.flow_in is None:
+            span.flow_in = []
+        span.flow_in.append(flow.flow_id)
+        return flow
 
     # -- instants & counters -------------------------------------------------
 
@@ -240,6 +364,7 @@ class _NullSpan:
     category = None
     closed = False
     stage = None
+    flow_in = flow_out = None
 
     @property
     def tags(self) -> dict[str, Any]:
@@ -308,6 +433,25 @@ class NullTracer:
 
     def counter(self, name: str, delta: float = 1) -> None:
         pass
+
+    # Flow propagation compiles out: a None flow short-circuits every
+    # hop site, so hot paths pay one ``is None`` check at most.
+
+    def flow_begin(self, kind: str, src_span: Any = None,
+                   t: float | None = None, **tags: Any) -> None:
+        return None
+
+    def flow_step(self, flow: Any, kind: str, lane: str,
+                  t: float | None = None, **tags: Any) -> None:
+        return None
+
+    def flow_through(self, flow: Any, kind: str, span: Any,
+                     **tags: Any) -> None:
+        return None
+
+    def flow_end(self, flow: Any, kind: str, span: Any,
+                 **tags: Any) -> None:
+        return None
 
 
 NULL_TRACER = NullTracer()

@@ -31,6 +31,7 @@ from typing import Any
 
 from repro.costmodel.models import CostModel
 from repro.des import Engine, Interrupt
+from repro.obs.flow import EDGE_SERVICE
 from repro.obs.tracer import get_tracer
 from repro.staging.descriptors import TaskDescriptor, TaskResult
 from repro.staging.scheduler import TaskScheduler
@@ -102,6 +103,12 @@ class StagingBucket:
                                             analysis=task.analysis,
                                             step=task.timestep,
                                             attempt=task.attempts)
+                        if task.flow is not None:
+                            # Hand-off into the worker: the assign→pickup
+                            # gap (bucket-ready RPC) charges to service.
+                            tracer.flow_step(task.flow, EDGE_SERVICE,
+                                             self.name,
+                                             attempt=task.attempts)
                         try:
                             yield from self._execute(task)
                         finally:
@@ -157,11 +164,15 @@ class StagingBucket:
         if self._tracer.enabled:
             # Compute charge (real compute + cost-model time) as an
             # explicit-time span nested inside the lane's task span.
-            self._tracer.add_span(f"intransit:{task.analysis}", lane=self.name,
-                                  t_start=pull_done_t, t_end=finish_t,
-                                  category="compute", stage="intransit",
-                                  analysis=task.analysis, step=task.timestep,
-                                  task_id=task.task_id)
+            sp = self._tracer.add_span(f"intransit:{task.analysis}",
+                                       lane=self.name,
+                                       t_start=pull_done_t, t_end=finish_t,
+                                       category="compute", stage="intransit",
+                                       analysis=task.analysis,
+                                       step=task.timestep,
+                                       task_id=task.task_id)
+            if task.flow is not None:
+                self._tracer.flow_end(task.flow, EDGE_SERVICE, sp)
             self._tracer.counter("bucket.tasks_done")
             self._tracer.counter("bucket.bytes_consumed", task.total_bytes)
             self._tracer.metrics.histogram("bucket.task_time").observe(
@@ -188,7 +199,8 @@ class StagingBucket:
         payloads: list[Any] = []
         for desc in task.data:
             payload = yield from self.transport.pull(desc, self.name,
-                                                     release=not retain)
+                                                     release=not retain,
+                                                     flow=task.flow)
             payloads.append(payload)
         pull_done_t = self.engine.now
         value = task.compute(payloads) if task.compute is not None else None
@@ -207,14 +219,15 @@ class StagingBucket:
         no pull process dangles past the attempt.
         """
         state: Any = None
-        pending = (self.engine.process(self._pull_proc(task.data[0]),
+        pending = (self.engine.process(self._pull_proc(task.data[0],
+                                                       task.flow),
                                        name=f"{self.name}:pull0")
                    if task.data else None)
         try:
             for i in range(len(task.data)):
                 payload = yield pending
                 pending = (self.engine.process(
-                    self._pull_proc(task.data[i + 1]),
+                    self._pull_proc(task.data[i + 1], task.flow),
                     name=f"{self.name}:pull{i + 1}")
                     if i + 1 < len(task.data) else None)
                 if isinstance(payload, _FailedPull):
@@ -235,7 +248,7 @@ class StagingBucket:
             raise exc
         return value, pull_done_t
 
-    def _pull_proc(self, desc) -> Generator[Any, Any, Any]:
+    def _pull_proc(self, desc, flow=None) -> Generator[Any, Any, Any]:
         """Wrap one pull as a joinable DES process (streaming prefetch).
 
         Failures are returned as :class:`_FailedPull` values — an exception
@@ -243,7 +256,8 @@ class StagingBucket:
         """
         try:
             payload = yield from self.transport.pull(desc, self.name,
-                                                     release=False)
+                                                     release=False,
+                                                     flow=flow)
         except Interrupt:
             raise
         except Exception as exc:  # noqa: BLE001 — crossed back in consumer

@@ -125,6 +125,13 @@ class DataSpaces:
         #: Task ids that failed terminally in the fallback path.
         self.fallback_failures: list[str] = []
         self._tracer = get_tracer()
+        #: Producer span anchoring the *next* submitted task's causal
+        #: flow (the driver sets this around each in-situ hand-off).
+        self.flow_src: Any | None = None
+        #: A pre-created flow to attach to the next submitted task (set
+        #: by drivers that start the flow at the in-situ stage so vmpi
+        #: collective hops land on it); consumed by one submit.
+        self.next_flow: Any | None = None
 
     # -- tuple space --------------------------------------------------------
 
@@ -234,6 +241,27 @@ class DataSpaces:
 
     # -- workflow: in-situ side ------------------------------------------------
 
+    def _task_flow(self, task: TaskDescriptor) -> Any | None:
+        """Attach a causal flow to ``task`` (None when tracing is off).
+
+        A driver-provided :attr:`next_flow` is consumed first (it already
+        carries the in-situ collective hops); otherwise a fresh flow is
+        begun, anchored at :attr:`flow_src` when the driver set one.
+        """
+        tracer = self._tracer
+        if not tracer.enabled:
+            return None
+        flow = self.next_flow
+        if flow is not None:
+            self.next_flow = None
+        else:
+            flow = tracer.flow_begin("task", src_span=self.flow_src)
+        flow.tags.setdefault("task_id", task.task_id)
+        flow.tags.setdefault("analysis", task.analysis)
+        flow.tags.setdefault("step", task.timestep)
+        task.flow = flow
+        return flow
+
     def submit_insitu_result(self, analysis: str, timestep: int,
                              source_node: str, payload: Any,
                              nbytes: int | None = None,
@@ -263,6 +291,7 @@ class DataSpaces:
             compute=compute, cost_op=cost_op, cost_elements=cost_elements,
             max_retries=max_retries, insitu_cost_op=insitu_cost_op,
         )
+        self._task_flow(task)
         self._rpc(task.task_id)
         self._outstanding += 1
         self.submitted += 1
@@ -298,6 +327,7 @@ class DataSpaces:
             stream_cost_per_payload=stream_cost_per_payload,
             max_retries=max_retries, insitu_cost_op=insitu_cost_op,
         )
+        self._task_flow(task)
         self._rpc(task.task_id)
         self._outstanding += 1
         self.submitted += 1

@@ -53,6 +53,10 @@ class TaskDescriptor:
     meta: dict[str, Any] = field(default_factory=dict)
     #: Mutable retry counter (managed by the buckets).
     attempts: int = 0
+    #: Causal flow context (:class:`repro.obs.flow.FlowContext`) riding
+    #: with the descriptor through scheduler/transport/bucket hand-offs;
+    #: ``None`` whenever tracing is off.
+    flow: Any | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.task_id:

@@ -26,6 +26,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.des import Engine, EventHandle
+from repro.obs.flow import EDGE_NOTIFY, EDGE_QUEUE, EDGE_RETRY
 from repro.obs.tracer import get_tracer
 from repro.staging.descriptors import SHUTDOWN_TASK_ID, TaskDescriptor
 
@@ -86,6 +87,11 @@ class TaskScheduler:
             self._tracer.instant("sched.data_ready", lane="scheduler",
                                  task_id=task.task_id, analysis=task.analysis,
                                  step=task.timestep)
+        if task.flow is not None:
+            # A re-submitted task arrives via a retry, not a fresh notify.
+            self._tracer.flow_step(task.flow,
+                                   EDGE_RETRY if task.attempts else EDGE_NOTIFY,
+                                   "scheduler", t=now)
         if self.task_sink is not None:
             self.task_sink(task)
             self._sample()
@@ -131,6 +137,9 @@ class TaskScheduler:
                                  queue_wait=self.engine.now - data_t)
             self._tracer.metrics.histogram("sched.queue_wait").observe(
                 self.engine.now - data_t)
+        if task.flow is not None:
+            self._tracer.flow_step(task.flow, EDGE_QUEUE, "scheduler",
+                                   bucket=bucket)
         ev.succeed(task)
         if (self.lease_timeout is not None
                 and task.task_id != SHUTDOWN_TASK_ID):
@@ -159,6 +168,14 @@ class TaskScheduler:
                     self._tracer.metrics.histogram(
                         "sched.lease_detect_delay").observe(
                         self.engine.now - assign_t)
+                if task.flow is not None:
+                    # The lease period burned on the dead bucket is a
+                    # retry cost; the follow-on data_ready hop lands at
+                    # the same instant and so charges nothing extra.
+                    self._tracer.flow_step(task.flow, EDGE_RETRY,
+                                           "scheduler",
+                                           reason="lease_expired",
+                                           bucket=bucket)
                 self.data_ready(task)
             else:
                 # The holder is alive and still working — renew the lease,

@@ -20,6 +20,7 @@ from typing import Any
 
 from repro.des import Engine, EventHandle, Resource
 from repro.machine.gemini import GeminiNetwork
+from repro.obs.flow import EDGE_GRANT, EDGE_RETRY, FlowContext
 from repro.obs.tracer import get_tracer
 from repro.transport.messages import DataDescriptor, TransferRecord
 from repro.transport.rdma import RdmaRegion, RdmaRegistry
@@ -107,7 +108,8 @@ class DartTransport:
         return sum(nic.in_use for nic in self._nics.values())
 
     def pull(self, descriptor: DataDescriptor, dest_node: str,
-             release: bool = True) -> Generator[Any, Any, Any]:
+             release: bool = True, flow: FlowContext | None = None
+             ) -> Generator[Any, Any, Any]:
         """DES process: RDMA-Get the region into ``dest_node``.
 
         Usage inside a process::
@@ -123,12 +125,17 @@ class DartTransport:
         are retried with exponential backoff up to ``pull_max_attempts``;
         the last failure re-raises to the caller. Lookup errors (pulling a
         released or unknown region) are permanent and never retried.
+
+        ``flow`` (a causal flow context, or None) collects the pull's
+        hand-off edges: a *retry* hop after each failed attempt's backoff
+        and a *grant* hop binding the wire-time span, so NIC queueing and
+        retry cost are attributable per flow.
         """
         attempt = 1
         while True:
             try:
                 payload = yield from self._pull_attempt(descriptor, dest_node,
-                                                        attempt)
+                                                        attempt, flow)
                 break
             except PullFault:
                 if self._tracer.enabled:
@@ -149,13 +156,20 @@ class DartTransport:
                                          region=descriptor.region_id,
                                          attempt=attempt, backoff=delay)
                 yield self.engine.timeout(delay)
+                if flow is not None:
+                    # The segment since the previous hop is the failed
+                    # attempt plus its backoff — charged to retry.
+                    self._tracer.flow_step(flow, EDGE_RETRY, dest_node,
+                                           region=descriptor.region_id,
+                                           attempt=attempt, backoff=delay)
                 attempt += 1
         if release:
             self.registry.release(descriptor.region_id)
         return payload
 
     def _pull_attempt(self, descriptor: DataDescriptor, dest_node: str,
-                      attempt: int) -> Generator[Any, Any, Any]:
+                      attempt: int, flow: FlowContext | None = None
+                      ) -> Generator[Any, Any, Any]:
         """One RDMA-Get attempt (no release; see :meth:`pull`)."""
         region: RdmaRegion = self.registry.lookup(descriptor.region_id)
         stall = 0.0
@@ -199,7 +213,12 @@ class DartTransport:
                     with tracer.span("rdma.pull", lane=dest_node,
                                      category="transfer", stage="movement",
                                      protocol=protocol, nbytes=region.nbytes,
-                                     src=region.source_node, **tags):
+                                     src=region.source_node, **tags) as sp:
+                        if flow is not None:
+                            # Gap since the previous hop is NIC queueing
+                            # (both endpoints' channel grants).
+                            tracer.flow_through(flow, EDGE_GRANT, sp,
+                                                region=region.region_id)
                         yield self.engine.timeout(wire)
                     proto_name = getattr(protocol, "name", str(protocol))
                     tracer.counter(f"dart.pull.{proto_name.lower()}")

@@ -27,6 +27,34 @@ def point_to_point_time(net: GeminiNetwork, nbytes: int) -> float:
     return net.transfer_time(nbytes)
 
 
+#: Critical-path message rounds per collective (p ranks) — the round
+#: count each ``*_time`` model below charges latency for. Exposed so
+#: causal-flow hops can annotate a collective hand-off with its depth.
+_ROUND_COUNTS = {
+    "bcast": lambda p: math.ceil(math.log2(p)),
+    "reduce": lambda p: math.ceil(math.log2(p)),
+    "allreduce": lambda p: 2 * math.ceil(math.log2(p)),
+    "gather": lambda p: math.ceil(math.log2(p)),
+    "allgather": lambda p: p - 1,
+    "alltoall": lambda p: p - 1,
+    "scan": lambda p: math.ceil(math.log2(p)),
+    "exscan": lambda p: math.ceil(math.log2(p)),
+    "reduce_scatter": lambda p: math.ceil(math.log2(p)),
+}
+
+
+def rounds(op: str, p: int) -> int:
+    """Critical-path rounds of collective ``op`` over ``p`` ranks.
+
+    Unknown ops cost one round — a point-to-point exchange.
+    """
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    if p == 1:
+        return 0
+    return int(_ROUND_COUNTS.get(op, lambda _p: 1)(p))
+
+
 def bcast_time(net: GeminiNetwork, p: int, nbytes: int) -> float:
     """Binomial-tree broadcast: ``ceil(log2 p)`` rounds of one message."""
     _check(p, nbytes)

@@ -102,6 +102,65 @@ class TestCommands:
         assert rc == 0
         assert validate_chrome_trace(json.loads(out.read_text())) == []
 
+    def test_trace_relative_out_lands_under_out_dir(self, tmp_path,
+                                                    monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["trace", "--steps", "3", "--buckets", "4",
+                   "--out-dir", "artifacts", "--out", "mytrace.json",
+                   "--jsonl", "events.jsonl"])
+        assert rc == 0
+        # explicit relative paths are re-rooted under --out-dir, not CWD
+        assert (tmp_path / "artifacts" / "mytrace.json").exists()
+        assert (tmp_path / "artifacts" / "events.jsonl").exists()
+        assert not (tmp_path / "mytrace.json").exists()
+        assert not (tmp_path / "events.jsonl").exists()
+
+    def test_trace_reports_causal_path(self, tmp_path, capsys):
+        rc = main(["trace", "--steps", "3", "--out-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "causal vs heuristic critical path" in out
+        assert "reconcile:" in out
+
+    def test_trace_diff_against_previous_run(self, tmp_path, capsys):
+        jsonl = tmp_path / "base.jsonl"
+        assert main(["trace", "--steps", "3", "--buckets", "4",
+                     "--out-dir", str(tmp_path),
+                     "--jsonl", str(jsonl)]) == 0
+        capsys.readouterr()
+        rc = main(["trace", "--steps", "3", "--buckets", "2",
+                   "--out-dir", str(tmp_path), "--diff", str(jsonl)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace diff" in out
+        assert "retry_backoff" in out
+        assert (tmp_path / "trace_diff.html").exists()
+
+    def test_blame_writes_report(self, tmp_path, capsys):
+        import json
+
+        rc = main(["blame", "--steps", "3", "--buckets", "4",
+                   "--out-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "blame attribution" in out
+        assert "exact-sum check: ok" in out
+        payload = json.loads((tmp_path / "repro_blame.json").read_text())
+        assert payload["makespan"] == pytest.approx(
+            sum(payload["overall"].values()))
+
+    def test_blame_from_exported_trace(self, tmp_path, capsys):
+        jsonl = tmp_path / "run.jsonl"
+        assert main(["trace", "--steps", "3", "--out-dir", str(tmp_path),
+                     "--jsonl", str(jsonl)]) == 0
+        capsys.readouterr()
+        rc = main(["blame", "--trace", str(jsonl),
+                   "--out-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "causal path" in out
+        assert "exact-sum check: ok" in out
+
     def test_simulate_with_report(self, capsys):
         rc = main(["simulate", "--steps", "2", "--grid", "10", "8", "6",
                    "--ranks", "2", "1", "1", "--report"])
