@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend import kernel
+
 
 @dataclass
 class LagAccumulator:
@@ -85,6 +87,50 @@ class LagAccumulator:
                    sum_xy=float(vec[5]))
 
 
+@kernel("statistics.autocorr_cross_sums")
+def _autocorr_cross_sums(current: np.ndarray,
+                         history: list[np.ndarray]) -> np.ndarray:
+    """Per-lag single-pass cross sums of ``current`` against each lagged
+    field; row k-1 holds ``(n, sum x, sum y, sum x^2, sum y^2, sum xy)``
+    for ``history[k-1]`` (the lag-k field).
+
+    Backend seam: the numpy backend stacks the history and computes all
+    lags' sums in batched axis-wise passes (``sum x`` and ``sum x^2``
+    once) — per-row pairwise summation keeps the sums bit-identical.
+    """
+    x = np.asarray(current, dtype=np.float64).ravel()
+    out = np.empty((len(history), 6), dtype=np.float64)
+    for i, lagged in enumerate(history):
+        y = np.asarray(lagged, dtype=np.float64).ravel()
+        if x.shape != y.shape:
+            raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+        out[i] = (x.size, float(x.sum()), float(y.sum()),
+                  float((x * x).sum()), float((y * y).sum()),
+                  float((x * y).sum()))
+    return out
+
+
+@kernel("statistics.autocorr_merge")
+def _autocorr_merge(packed_partials: list[np.ndarray],
+                    max_lag: int) -> np.ndarray:
+    """Left-fold merge of per-rank packed lag partials to ``(max_lag, 6)``.
+
+    Backend seam: the numpy backend reshapes to ``(ranks, max_lag, 6)``
+    and folds the rank axis for every lag at once — additions in the same
+    rank order, so the merged sums are bit-identical.
+    """
+    k_doubles = LagAccumulator.PACKED_DOUBLES
+    if max_lag == 0:
+        return np.empty((0, k_doubles), dtype=np.float64)
+    merged = [LagAccumulator() for _ in range(max_lag)]
+    for vec in packed_partials:
+        for k in range(max_lag):
+            acc = LagAccumulator.unpack(
+                vec[k * k_doubles:(k + 1) * k_doubles])
+            merged[k] = merged[k].merge(acc)
+    return np.stack([acc.pack() for acc in merged])
+
+
 class AutocorrelationLearner:
     """The in-situ stage: one per rank, fed the rank's block every step.
 
@@ -110,8 +156,19 @@ class AutocorrelationLearner:
     def observe(self, block: np.ndarray) -> None:
         """Feed this step's block; updates all available lags."""
         block = np.asarray(block, dtype=np.float64)
-        for k in range(1, min(len(self._history), self.max_lag) + 1):
-            self.lags[k].accumulate(block, self._history[-k])
+        n_lags = min(len(self._history), self.max_lag)
+        if n_lags:
+            sums = _autocorr_cross_sums(
+                block, [self._history[-k] for k in range(1, n_lags + 1)])
+            for k in range(1, n_lags + 1):
+                acc = self.lags[k]
+                row = sums[k - 1]
+                acc.n += int(row[0])
+                acc.sum_x += float(row[1])
+                acc.sum_y += float(row[2])
+                acc.sum_xx += float(row[3])
+                acc.sum_yy += float(row[4])
+                acc.sum_xy += float(row[5])
         self._history.append(block.copy())
         if len(self._history) > self.max_lag:
             self._history.pop(0)
@@ -130,14 +187,15 @@ def derive_autocorrelation(packed_partials: list[np.ndarray],
         raise ValueError("no partials to derive from")
     k_doubles = LagAccumulator.PACKED_DOUBLES
     expected = (max_lag * k_doubles,)
-    merged = {k: LagAccumulator() for k in range(1, max_lag + 1)}
+    validated = []
     for vec in packed_partials:
         vec = np.asarray(vec, dtype=np.float64)
         if vec.shape != expected:
             raise ValueError(f"partial has shape {vec.shape}, expected {expected}")
-        for k in range(1, max_lag + 1):
-            acc = LagAccumulator.unpack(vec[(k - 1) * k_doubles:k * k_doubles])
-            merged[k] = merged[k].merge(acc)
+        validated.append(vec)
+    rows = _autocorr_merge(validated, max_lag)
+    merged = {k: LagAccumulator.unpack(rows[k - 1])
+              for k in range(1, max_lag + 1)}
     return {k: acc.correlation() for k, acc in merged.items() if acc.n >= 2}
 
 

@@ -21,6 +21,27 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats as scipy_stats
 
+from repro.backend import kernel
+
+
+@kernel("statistics.bivariate_histogram")
+def _bivariate_histogram(x: np.ndarray, y: np.ndarray, x_edges: np.ndarray,
+                         y_edges: np.ndarray,
+                         shape: tuple[int, int]) -> np.ndarray:
+    """Joint histogram of paired observations against fixed bin edges.
+
+    Out-of-range observations clamp into the edge bins. Backend seam:
+    the numpy backend replaces the scatter-add with one ``np.bincount``
+    over linearised cell indices — identical integer counts.
+    """
+    xi = np.clip(np.searchsorted(x_edges, x, side="right") - 1,
+                 0, shape[0] - 1)
+    yi = np.clip(np.searchsorted(y_edges, y, side="right") - 1,
+                 0, shape[1] - 1)
+    counts = np.zeros(shape, dtype=np.int64)
+    np.add.at(counts, (xi, yi), 1)
+    return counts
+
 
 @dataclass
 class ContingencyTable:
@@ -57,11 +78,9 @@ class ContingencyTable:
         y = np.asarray(y, dtype=np.float64).ravel()
         if x.shape != y.shape:
             raise ValueError(f"x and y differ in size: {x.size} vs {y.size}")
-        xi = np.clip(np.searchsorted(table.x_edges, x, side="right") - 1,
-                     0, table.counts.shape[0] - 1)
-        yi = np.clip(np.searchsorted(table.y_edges, y, side="right") - 1,
-                     0, table.counts.shape[1] - 1)
-        np.add.at(table.counts, (xi, yi), 1)
+        table.counts = _bivariate_histogram(x, y, table.x_edges,
+                                            table.y_edges,
+                                            table.counts.shape)
         return table
 
     @property

@@ -17,8 +17,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.statistics.moments import MomentAccumulator, merge_accumulators
-from repro.analysis.statistics.stages import DerivedStatistics, derive, learn
+from repro.analysis.statistics.moments import (
+    MomentAccumulator,
+    learn_blocks,
+    merge_packed_moments,
+    moment_merge_op,
+)
+from repro.analysis.statistics.stages import DerivedStatistics, derive
 from repro.vmpi.comm import VirtualComm
 
 
@@ -59,8 +64,21 @@ class StatisticsEngine:
         if len(per_rank_fields) != self.comm.n_ranks:
             raise ValueError(
                 f"expected {self.comm.n_ranks} rank blocks, got {len(per_rank_fields)}")
-        return [{name: learn(block) for name, block in fields.items()}
-                for fields in per_rank_fields]
+        # Flatten rank-major so one learn_blocks kernel call covers every
+        # (rank, variable) block, then rebuild the per-rank dicts.
+        layout: list[list[str]] = []
+        blocks: list[np.ndarray] = []
+        for fields in per_rank_fields:
+            names = list(fields)
+            layout.append(names)
+            blocks.extend(fields[name] for name in names)
+        accs = learn_blocks(blocks)
+        out: list[dict[str, MomentAccumulator]] = []
+        pos = 0
+        for names in layout:
+            out.append({name: accs[pos + i] for i, name in enumerate(names)})
+            pos += len(names)
+        return out
 
     # -- deployment A: fully in-situ ----------------------------------------------
 
@@ -74,8 +92,7 @@ class StatisticsEngine:
             {} for _ in range(self.comm.n_ranks)]
         for name in names:
             contributions = [p[name] for p in partials]
-            merged = self.comm.allreduce(contributions,
-                                         lambda a, b: a.merge(b))
+            merged = self.comm.allreduce(contributions, moment_merge_op)
             for rank, acc in enumerate(merged):
                 merged_per_rank[rank][name] = acc
         comm_time = self.comm.tracker.total_time - t0
@@ -95,15 +112,12 @@ class StatisticsEngine:
                          ) -> dict[str, DerivedStatistics]:
         """The serial in-transit stage: unpack, merge, derive."""
         k = MomentAccumulator.PACKED_DOUBLES
-        per_var: dict[str, list[MomentAccumulator]] = {n: [] for n in names}
         for vec in packed:
             if vec.shape != (k * len(names),):
                 raise ValueError(
                     f"packed partial has shape {vec.shape}, expected {(k * len(names),)}")
-            for i, name in enumerate(names):
-                per_var[name].append(MomentAccumulator.unpack(vec[i * k:(i + 1) * k]))
-        return {name: derive(merge_accumulators(accs))
-                for name, accs in per_var.items()}
+        merged = merge_packed_moments(list(packed), len(names))
+        return {name: derive(merged[i]) for i, name in enumerate(names)}
 
     def run_hybrid(self, per_rank_fields: list[dict[str, np.ndarray]]
                    ) -> HybridStatisticsResult:

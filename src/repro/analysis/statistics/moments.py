@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import kernel
+
 
 @dataclass
 class MomentAccumulator:
@@ -115,8 +117,41 @@ class MomentAccumulator:
                    M4=float(vec[6]))
 
 
+def moment_merge_op(a: MomentAccumulator,
+                    b: MomentAccumulator) -> MomentAccumulator:
+    """Binary reduce operator for collectives over moment accumulators.
+
+    Marked so the numpy backend's ``vmpi.pairwise_reduce`` kernel can
+    recognise it and fold the whole reduction tree with the vectorized
+    Pébay formulas (the pairing is identical, so results are too).
+    """
+    return a.merge(b)
+
+
+moment_merge_op.is_moment_merge = True
+
+
+@kernel("statistics.learn_blocks")
+def learn_blocks(blocks: list[np.ndarray]) -> list[MomentAccumulator]:
+    """The batched learn pass: one accumulator per data block.
+
+    Backend seam: the numpy backend stacks same-size blocks and computes
+    every block's ``(n, min, max, mean, M2, M3, M4)`` in shared axis-wise
+    array passes — per-row sums use the same pairwise summation as the
+    per-block reference, so the aggregates are bit-identical.
+    """
+    return [MomentAccumulator.from_data(b) for b in blocks]
+
+
+@kernel("statistics.merge_moments")
 def merge_accumulators(accs: list[MomentAccumulator]) -> MomentAccumulator:
-    """Pairwise (tree-order) merge of many accumulators."""
+    """Pairwise (tree-order) merge of many accumulators.
+
+    Backend seam: the numpy backend packs the accumulators into a
+    ``(p, 7)`` array and folds whole tree levels with the elementwise
+    Pébay formulas — identical pairing and operation order, so the merged
+    aggregates are bit-identical.
+    """
     if not accs:
         raise ValueError("cannot merge an empty accumulator list")
     work = list(accs)
@@ -126,3 +161,22 @@ def merge_accumulators(accs: list[MomentAccumulator]) -> MomentAccumulator:
             nxt.append(work[-1])
         work = nxt
     return work[0]
+
+
+@kernel("statistics.merge_packed_moments")
+def merge_packed_moments(packed: list[np.ndarray],
+                         n_vars: int) -> list[MomentAccumulator]:
+    """Merge rank-major packed partial models; one result per variable.
+
+    ``packed[r]`` holds rank r's ``n_vars`` concatenated 7-double packs.
+    The reference unpacks and tree-merges per variable; the numpy backend
+    reshapes to ``(ranks, n_vars, 7)`` and folds the rank axis for every
+    variable at once.
+    """
+    k = MomentAccumulator.PACKED_DOUBLES
+    per_var: list[list[MomentAccumulator]] = [[] for _ in range(n_vars)]
+    for vec in packed:
+        vec = np.asarray(vec, dtype=np.float64)
+        for i in range(n_vars):
+            per_var[i].append(MomentAccumulator.unpack(vec[i * k:(i + 1) * k]))
+    return [merge_accumulators(accs) for accs in per_var]

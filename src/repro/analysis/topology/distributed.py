@@ -18,6 +18,7 @@ import numpy as np
 from repro.analysis.topology.local_tree import BoundaryTree, compute_boundary_tree
 from repro.analysis.topology.merge_tree import MergeTree
 from repro.analysis.topology.stream_merge import StreamingGlue
+from repro.backend import kernel
 from repro.vmpi.decomp import Block3D, BlockDecomposition3D
 
 
@@ -83,12 +84,10 @@ def compute_block_boundary_trees(global_field: np.ndarray,
     return out
 
 
-def glue_boundary_trees(boundary_trees: list[BoundaryTree],
-                        cross_edges: list[tuple[int, int]],
-                        glue: StreamingGlue | None = None) -> MergeTree:
-    """The in-transit stage: stream all subtree elements, then the cross
-    edges, into a single glue process and return the global tree."""
-    glue = glue or StreamingGlue()
+def _stream_glue(boundary_trees: list[BoundaryTree],
+                 cross_edges: list[tuple[int, int]],
+                 glue: StreamingGlue) -> MergeTree:
+    """Stream all subtree elements, then the cross edges, into ``glue``."""
     # Pre-count incident edges so the glue can track finalization.
     incident: dict[int, int] = {}
     for bt in boundary_trees:
@@ -107,6 +106,37 @@ def glue_boundary_trees(boundary_trees: list[BoundaryTree],
     for u, v in cross_edges:
         glue.add_edge(u, v)
     return glue.finalize()
+
+
+@kernel("topology.glue_batch")
+def _glue_batch(boundary_trees: list[BoundaryTree],
+                cross_edges: list[tuple[int, int]]) -> MergeTree:
+    """Glue kernel used when the caller does not need streaming-side
+    accounting (finalization counts, live-vertex high-water mark).
+
+    The reference body streams through a fresh :class:`StreamingGlue`;
+    the numpy backend builds the same augmented tree with one batch
+    union-find sweep over the combined vertex/edge set — the augmented
+    merge tree is unique given the (value, id) total order, so the
+    outputs are identical node-for-node and arc-for-arc.
+    """
+    return _stream_glue(boundary_trees, cross_edges, StreamingGlue())
+
+
+def glue_boundary_trees(boundary_trees: list[BoundaryTree],
+                        cross_edges: list[tuple[int, int]],
+                        glue: StreamingGlue | None = None) -> MergeTree:
+    """The in-transit stage: stream all subtree elements, then the cross
+    edges, into a single glue process and return the global tree.
+
+    Passing an explicit ``glue`` pins the streaming implementation (its
+    finalization/live-vertex accounting is part of the result); with the
+    default ``None`` the work dispatches through the ``topology.glue_batch``
+    backend kernel.
+    """
+    if glue is not None:
+        return _stream_glue(boundary_trees, cross_edges, glue)
+    return _glue_batch(boundary_trees, cross_edges)
 
 
 def distributed_merge_tree(global_field: np.ndarray,

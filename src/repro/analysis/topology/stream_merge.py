@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.topology.merge_tree import MergeTree
+from repro.backend import kernel
 
 
 class StreamingGlue:
@@ -127,6 +128,7 @@ class StreamingGlue:
         return tree
 
 
+@kernel("topology.graph_merge_tree")
 def compute_merge_tree_graph(values: dict[int, float],
                              edges: list[tuple[int, int]]) -> MergeTree:
     """Batch reference: augmented merge tree of an arbitrary graph.
@@ -134,7 +136,9 @@ def compute_merge_tree_graph(values: dict[int, float],
     Sweeps vertices in descending (value, id) order with union-find; every
     vertex becomes a node (chains included), matching
     :class:`StreamingGlue`'s augmented output. Used to verify the
-    streaming algorithm and as an independent oracle in tests.
+    streaming algorithm and as an independent oracle in tests. Backend
+    seam: the numpy backend lexsorts the sweep order and compacts the
+    adjacency vectorially, then runs the identical sweep.
     """
     if not values:
         raise ValueError("cannot compute the merge tree of an empty graph")

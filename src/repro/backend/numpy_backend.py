@@ -1,0 +1,707 @@
+"""The ``numpy`` backend: vectorized kernels for the four hot paths.
+
+Every kernel here is **bit-identical** to its reference implementation on
+the outputs the analyses consume — the equivalence contract of DESIGN.md
+§5, enforced by ``tests/test_backends.py``. The techniques:
+
+* same pairing / same fold order — tree reductions fold whole levels in
+  one elementwise array operation using exactly the reference's pairing,
+  so each IEEE operation sees the same operands;
+* per-row pairwise summation — numpy's ``sum`` over the contiguous axis
+  of a stacked ``(rows, m)`` array applies the same pairwise summation
+  as summing each row alone, so batched sums equal per-block sums;
+* vectorized precompute + identical sweep — the merge-tree kernels build
+  neighbour tables and sweep ranks with array operations, then run the
+  reference's union-find sweep over plain python lists (numpy scalar
+  indexing is the reference's real cost), preserving visit order and
+  union order exactly;
+* a kernel that cannot guarantee exactness for its inputs (unknown
+  operator, mixed shapes, zero-count accumulators) falls back to the
+  reference implementation rather than approximate.
+
+Importing this module is the backend's availability probe: an
+environment without numpy raises ``ImportError`` here and the registry
+falls back to ``reference`` with a single warning.
+"""
+
+from __future__ import annotations
+
+import heapq
+import operator
+from collections.abc import Callable
+from typing import Any
+
+import numpy as np
+
+from repro.backend.registry import _REFERENCE
+
+
+def _ref(name: str) -> Callable[..., Any]:
+    """The reference implementation (the fallback for inexact cases)."""
+    return _REFERENCE[name]
+
+
+# ---------------------------------------------------------------------------
+# (1) DES event dispatch: calendar/batched-heap event queue
+# ---------------------------------------------------------------------------
+
+
+class ArrayEventQueue:
+    """Batched-heap event queue with bit-identical ``(when, seq)`` order.
+
+    Freshly pushed events land in a binary heap identical to the
+    reference's; once it outgrows ``FLUSH_THRESHOLD`` the whole heap is
+    flushed into ``when`` / ``seq`` arrays sorted by one lexsort (the
+    payloads move to a seq-keyed dict). Same-timestamp runs in the
+    sorted arrays are then located with ``searchsorted`` and extracted
+    in one slice — "pop all same-timestamp events in one array
+    operation" — so event storms (a timestep's worth of simultaneous
+    completions) are sorted and batched vectorially, while a
+    steady-state trickle stays on the plain-heap fast path.
+    """
+
+    FLUSH_THRESHOLD = 256
+
+    __slots__ = ("_pending", "_times", "_seqs", "_lo", "_hi", "_head",
+                 "_payload", "_batch", "_batch_when", "_mixed", "_flush_at")
+
+    def __init__(self) -> None:
+        # heapq of (when, seq, fn, arg) — the reference representation.
+        self._pending: list[tuple[float, int, Callable[[Any], None], Any]] = []
+        self._times = np.empty(0, dtype=np.float64)
+        self._seqs = np.empty(0, dtype=np.int64)
+        self._lo = 0       # cursor into the sorted arrays
+        self._hi = 0       # their length, as a plain int (hot-path compare)
+        self._head = 0.0   # float(self._times[self._lo]) — cached scalar
+        self._payload: dict[int, tuple[Callable[[Any], None], Any]] = {}
+        #: Current same-timestamp run, reversed so pop() yields seq order.
+        self._batch: list[tuple[int, Callable[[Any], None], Any]] = []
+        self._batch_when: float | None = None
+        #: False while no flushed events or batch exist — then the pop
+        #: and peek paths are byte-for-byte the reference heap's, so a
+        #: steady-state trickle pays one flag test for the machinery.
+        self._mixed = False
+        #: Flush once pending outgrows max(threshold, flushed remainder):
+        #: merging equal-or-larger runs keeps the re-sorts amortised
+        #: O(log n) per event instead of quadratic under monotonic fill.
+        self._flush_at = self.FLUSH_THRESHOLD
+
+    def push(self, when: float, seq: int, fn: Callable[[Any], None],
+             arg: Any) -> None:
+        heapq.heappush(self._pending, (when, seq, fn, arg))
+        if len(self._pending) >= self._flush_at:
+            self._flush()
+
+    def _flush(self) -> None:
+        pending = self._pending
+        pt = np.fromiter((e[0] for e in pending), dtype=np.float64,
+                         count=len(pending))
+        ps = np.fromiter((e[1] for e in pending), dtype=np.int64,
+                         count=len(pending))
+        payload = self._payload
+        for e in pending:
+            payload[e[1]] = (e[2], e[3])
+        pending.clear()
+        if self._lo < self._hi:
+            pt = np.concatenate([self._times[self._lo:], pt])
+            ps = np.concatenate([self._seqs[self._lo:], ps])
+        order = np.lexsort((ps, pt))
+        self._times = pt[order]
+        self._seqs = ps[order]
+        self._lo = 0
+        self._hi = int(pt.size)
+        self._head = float(self._times[0])
+        self._mixed = True
+        self._flush_at = max(self.FLUSH_THRESHOLD, self._hi)
+
+    def next_time(self) -> float | None:
+        if not self._mixed:
+            pending = self._pending
+            return pending[0][0] if pending else None
+        best: float | None = self._batch_when if self._batch else None
+        if self._pending:
+            t = self._pending[0][0]
+            if best is None or t < best:
+                best = t
+        if self._lo < self._hi:
+            t = self._head
+            if best is None or t < best:
+                best = t
+        return best
+
+    def pop_due(self, when: float
+                ) -> tuple[Callable[[Any], None], Any] | None:
+        if not self._mixed:
+            pending = self._pending
+            if pending and pending[0][0] == when:
+                _when, _seq, fn, arg = heapq.heappop(pending)
+                return fn, arg
+            return None
+        batch = self._batch
+        if batch:
+            if self._batch_when == when:
+                _seq, fn, arg = batch.pop()
+                if not batch and self._lo == self._hi:
+                    self._mixed = False
+                    self._flush_at = self.FLUSH_THRESHOLD
+                return fn, arg
+            # Out-of-band pop: an event earlier than the current batch
+            # was pushed after the batch was cut. The engine never does
+            # this (simulated time is monotone) but the reference heap
+            # supports it, so spill the batch back into the pending heap
+            # and fall through to the uniform paths.
+            bw = self._batch_when
+            for s, fn, arg in batch:
+                heapq.heappush(self._pending, (bw, s, fn, arg))
+            batch.clear()
+            self._batch_when = None
+        if self._lo < self._hi and self._head == when:
+            self._extract_batch(when)
+            return self.pop_due(when)
+        pending = self._pending
+        if pending and pending[0][0] == when:
+            _when, _seq, fn, arg = heapq.heappop(pending)
+            return fn, arg
+        return None
+
+    def _extract_batch(self, when: float) -> None:
+        # The whole same-timestamp run of the sorted arrays, in one slice.
+        payload = self._payload
+        hi = int(np.searchsorted(self._times, when, side="right"))
+        entries = [(s, *payload.pop(s))
+                   for s in self._seqs[self._lo:hi].tolist()]
+        self._lo = hi
+        if hi < self._hi:
+            self._head = float(self._times[hi])
+        # Merge in pending events at the same timestamp (scheduled since
+        # the last flush; their seqs interleave with the array run's).
+        pending = self._pending
+        while pending and pending[0][0] == when:
+            _when, s, fn, arg = heapq.heappop(pending)
+            entries.append((s, fn, arg))
+            entries.sort(key=lambda e: e[0])
+        entries.reverse()  # list.pop() then yields ascending seq
+        self._batch = entries
+        self._batch_when = when
+
+    def __len__(self) -> int:
+        return (len(self._batch) + len(self._pending)
+                + self._hi - self._lo)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+def make_event_queue_numpy() -> ArrayEventQueue:
+    return ArrayEventQueue()
+
+
+# ---------------------------------------------------------------------------
+# (2) vmpi collectives: stacked whole-level folds
+# ---------------------------------------------------------------------------
+
+_UFUNC_BY_OP: dict[Any, np.ufunc] = {
+    operator.add: np.add,
+    operator.mul: np.multiply,
+    min: np.minimum,
+    max: np.maximum,
+}
+
+
+def _resolve_ufunc(op: Callable[[Any, Any], Any]) -> np.ufunc | None:
+    if isinstance(op, np.ufunc) and op.nin == 2:
+        return op
+    return _UFUNC_BY_OP.get(op)
+
+
+def _stackable(vals: list[Any]) -> bool:
+    return (all(isinstance(v, np.ndarray) for v in vals)
+            and len({(v.shape, v.dtype) for v in vals}) == 1)
+
+
+#: Stack ndarray contributions only in the many-small-buffers regime —
+#: measured: for large per-rank buffers the reference loop already runs
+#: one ufunc per pair and is memory-bound, so stacking merely adds the
+#: conversion cost, while thousands of small partials (the per-rank
+#: model exchanges of the paper) amortise it severalfold. Module-level
+#: so tests can force either path.
+PAIRWISE_STACK_MIN_RANKS = 512
+PAIRWISE_STACK_MAX_ELEMS = 64
+SCAN_STACK_MIN_RANKS = 512
+SCAN_STACK_MAX_ELEMS = 32
+
+
+def pairwise_reduce_numpy(values: list[Any],
+                          op: Callable[[Any, Any], Any]) -> Any:
+    """Tree reduction folding whole levels in single array operations.
+
+    Identical pairing to the reference ((0,1), (2,3), …, odd tail
+    carried), so every elementwise IEEE operation sees the same operands
+    — bit-identical results. Non-array payloads or unrecognised
+    operators fall back to the reference loop.
+    """
+    vals = list(values)
+    if not vals:
+        raise ValueError("cannot reduce an empty contribution list")
+    if getattr(op, "is_moment_merge", False) and len(vals) > 1:
+        # Same pairing as merge_moments' tree fold — route there so the
+        # whole reduction runs through the vectorized Pébay formulas.
+        return merge_moments_numpy(vals)
+    ufunc = _resolve_ufunc(op)
+    if ufunc is None or len(vals) < 2:
+        return _ref("vmpi.pairwise_reduce")(vals, op)
+    first = vals[0]
+    if isinstance(first, np.ndarray):
+        if (len(vals) >= PAIRWISE_STACK_MIN_RANKS
+                and first.size <= PAIRWISE_STACK_MAX_ELEMS
+                and _stackable(vals)):
+            stack = np.asarray(vals)
+            scalar = False
+        else:
+            return _ref("vmpi.pairwise_reduce")(vals, op)
+    elif all(isinstance(v, float) for v in vals):
+        stack = np.array(vals, dtype=np.float64)
+        scalar = True
+    else:
+        return _ref("vmpi.pairwise_reduce")(vals, op)
+    while stack.shape[0] > 1:
+        m = stack.shape[0]
+        even = m - (m % 2)
+        merged = ufunc(stack[0:even:2], stack[1:even:2])
+        if m % 2:
+            merged = np.concatenate([merged, stack[-1:]])
+        stack = merged
+    return float(stack[0]) if scalar else stack[0]
+
+
+def scan_numpy(values: list[Any], op: Callable[[Any, Any], Any]) -> list[Any]:
+    """Inclusive prefix fold via ``ufunc.accumulate`` (sequential, the
+    identical left-to-right order) over the stacked contributions.
+
+    Gated to the many-small-contributions regime: accumulate along the
+    rank axis strides across rows, so for large payloads the reference's
+    sequential adds are faster.
+    """
+    vals = list(values)
+    ufunc = _resolve_ufunc(op)
+    if (ufunc is None or len(vals) < SCAN_STACK_MIN_RANKS
+            or not isinstance(vals[0], np.ndarray)
+            or vals[0].size > SCAN_STACK_MAX_ELEMS
+            or not _stackable(vals)):
+        return _ref("vmpi.scan")(vals, op)
+    acc = ufunc.accumulate(np.asarray(vals), axis=0)
+    out = list(acc)
+    out[0] = vals[0]  # reference hands rank 0 its own contribution back
+    return out
+
+
+# ---------------------------------------------------------------------------
+# (3) topology: vectorized precompute + list-based union-find sweeps
+# ---------------------------------------------------------------------------
+
+
+def _grid_strides(shape: tuple[int, ...]) -> list[int]:
+    strides: list[int] = []
+    s = 1
+    for extent in reversed(shape):
+        strides.append(s)
+        s *= extent
+    strides.reverse()
+    return strides
+
+
+def merge_tree_numpy(field: np.ndarray, id_map: np.ndarray | None = None):
+    """Grid merge tree: vectorized neighbour table and sweep ranks, then
+    the reference's union-find sweep over plain lists.
+
+    The sweep visits vertices in the same order, probes neighbours in the
+    same (−stride, +stride per axis) order, and performs the same find /
+    union sequence, so the tree and ``vertex_arc`` are bit-identical.
+    """
+    from repro.analysis.topology.merge_tree import MergeTree
+
+    values_arr = np.asarray(field, dtype=np.float64).ravel()
+    n = values_arr.size
+    if n == 0:
+        raise ValueError("cannot compute the merge tree of an empty field")
+    shape = tuple(np.asarray(field).shape)
+    if id_map is not None:
+        ids = np.asarray(id_map).ravel()
+        if ids.size != n:
+            raise ValueError(f"id_map size {ids.size} != field size {n}")
+        if np.unique(ids).size != n:
+            raise ValueError("id_map must assign distinct ids")
+    else:
+        ids = np.arange(n, dtype=np.int64)
+
+    order = np.lexsort((ids, values_arr))[::-1]
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n)
+
+    # Neighbour table in _iter_grid_neighbors order: per axis −st then
+    # +st, with −1 marking out-of-bounds.
+    idx = np.arange(n)
+    rem = idx
+    nbr_cols = []
+    for axis, st in enumerate(_grid_strides(shape)):
+        coord = rem // st
+        rem = rem % st
+        nbr_cols.append(np.where(coord > 0, idx - st, -1))
+        nbr_cols.append(np.where(coord < shape[axis] - 1, idx + st, -1))
+    nbrs_l = np.stack(nbr_cols, axis=1).tolist()
+
+    order_l = order.tolist()
+    rank_l = rank.tolist()
+    ids_l = [int(x) for x in ids.tolist()]
+    values_l = values_arr.tolist()
+
+    parent_uf = list(range(n))
+    comp_node = [-1] * n
+    vertex_arc_local = [-1] * n
+    tree = MergeTree()
+
+    for i, v in enumerate(order_l):
+        neighbor_roots: list[int] = []
+        for u in nbrs_l[v]:
+            if u >= 0 and rank_l[u] < i:  # processed earlier in the sweep
+                x = u
+                while parent_uf[x] != x:  # find with path halving
+                    parent_uf[x] = parent_uf[parent_uf[x]]
+                    x = parent_uf[x]
+                if x not in neighbor_roots:
+                    neighbor_roots.append(x)
+        if not neighbor_roots:
+            tree.add_node(ids_l[v], values_l[v])
+            comp_node[v] = v
+            vertex_arc_local[v] = v
+        elif len(neighbor_roots) == 1:
+            r = neighbor_roots[0]
+            parent_uf[v] = r
+            x = v
+            while parent_uf[x] != x:
+                parent_uf[x] = parent_uf[parent_uf[x]]
+                x = parent_uf[x]
+            comp_node[x] = comp_node[r]
+            vertex_arc_local[v] = comp_node[r]
+        else:
+            tree.add_node(ids_l[v], values_l[v])
+            for r in neighbor_roots:
+                tree.set_parent(ids_l[comp_node[r]], ids_l[v])
+                parent_uf[r] = v
+            x = v
+            while parent_uf[x] != x:
+                parent_uf[x] = parent_uf[parent_uf[x]]
+                x = parent_uf[x]
+            comp_node[x] = v
+            vertex_arc_local[v] = v
+
+    vertex_arc = ids[np.asarray(vertex_arc_local,
+                                dtype=np.int64)].reshape(shape)
+    return tree, vertex_arc
+
+
+def _graph_sweep(ids: list[int], vals_l: list[float], order_l: list[int],
+                 rank_l: list[int], adj: list[int], offsets: list[int]):
+    """The reference graph sweep over CSR adjacency and plain lists."""
+    from repro.analysis.topology.merge_tree import MergeTree
+
+    n = len(ids)
+    parent_uf = list(range(n))
+    latest = [-1] * n
+    tree = MergeTree()
+    for i, vi in enumerate(order_l):
+        vid = ids[vi]
+        tree.add_node(vid, vals_l[vi])
+        roots: list[int] = []
+        for j in range(offsets[vi], offsets[vi + 1]):
+            nb = adj[j]
+            if rank_l[nb] < i:
+                x = nb
+                while parent_uf[x] != x:
+                    parent_uf[x] = parent_uf[parent_uf[x]]
+                    x = parent_uf[x]
+                if x not in roots:
+                    roots.append(x)
+        for r in roots:
+            tree.set_parent(latest[r], vid)
+            parent_uf[r] = vi
+        x = vi
+        while parent_uf[x] != x:
+            parent_uf[x] = parent_uf[parent_uf[x]]
+            x = parent_uf[x]
+        latest[x] = vid
+    return tree
+
+
+def _graph_csr(ids_arr: np.ndarray, edges: list[tuple[int, int]],
+               n: int) -> tuple[list[int], list[int]] | None:
+    """CSR adjacency preserving the reference's per-vertex edge order.
+
+    Returns ``None`` when an edge references an unknown vertex (caller
+    decides the error semantics).
+    """
+    if not edges:
+        return [], [0] * (n + 1)
+    ea = np.asarray(edges, dtype=np.int64).reshape(len(edges), 2)
+    pos = np.searchsorted(ids_arr, ea)
+    ok = (pos < n) & (ids_arr[np.minimum(pos, n - 1)] == ea)
+    if not bool(ok.all()):
+        return None
+    # Directed entries in reference append order: u→v then v→u per edge.
+    src = pos.ravel()
+    dst = pos[:, ::-1].ravel()
+    order = np.argsort(src, kind="stable")
+    counts = np.bincount(src, minlength=n)
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    return dst[order].tolist(), offsets.tolist()
+
+
+def graph_merge_tree_numpy(values: dict[int, float],
+                           edges: list[tuple[int, int]]):
+    """Augmented merge tree of a graph: vectorized sweep order and CSR
+    adjacency, then the identical union-find sweep."""
+    if not values:
+        raise ValueError("cannot compute the merge tree of an empty graph")
+    ids = sorted(values)
+    n = len(ids)
+    ids_arr = np.array(ids, dtype=np.int64)
+    vals = np.array([values[vid] for vid in ids], dtype=np.float64)
+    csr = _graph_csr(ids_arr, edges, n)
+    if csr is None:
+        # Reproduce the reference's first-offender KeyError.
+        for u, v in edges:
+            if u not in values or v not in values:
+                raise KeyError(f"edge ({u},{v}) references unknown vertex")
+        raise AssertionError("unreachable")
+    adj, offsets = csr
+    order = np.lexsort((ids_arr, vals))[::-1]
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n)
+    return _graph_sweep(ids, vals.tolist(), order.tolist(), rank.tolist(),
+                        adj, offsets)
+
+
+def glue_batch_numpy(boundary_trees, cross_edges):
+    """Batch glue: one union-find sweep over the combined vertex/edge
+    set instead of streaming chain-merges.
+
+    The augmented merge tree is unique given the (value, id) total
+    order, so this equals ``StreamingGlue``'s output node-for-node and
+    arc-for-arc. Streaming-order error semantics (duplicate vertices,
+    self-edges, undeclared endpoints) are reproduced exactly.
+    """
+    values: dict[int, float] = {}
+    for bt in boundary_trees:
+        for vid, val in bt.nodes.items():
+            vid = int(vid)
+            if vid in values:
+                raise ValueError(f"vertex {vid} already streamed")
+            values[vid] = float(val)
+    edges: list[tuple[int, int]] = []
+    for bt in boundary_trees:
+        edges.extend(bt.edges)
+    edges.extend(cross_edges)
+    checked: list[tuple[int, int]] = []
+    for u, v in edges:
+        u, v = int(u), int(v)
+        if u == v:
+            raise ValueError(f"self-edge on vertex {u}")
+        for x in (u, v):
+            if x not in values:
+                raise KeyError(
+                    f"edge ({u},{v}) streamed before vertex {x} was declared")
+        checked.append((u, v))
+    if not values:
+        from repro.analysis.topology.merge_tree import MergeTree
+
+        return MergeTree()
+    return graph_merge_tree_numpy(values, checked)
+
+
+# ---------------------------------------------------------------------------
+# (4) statistics: batched single-pass moments / contingency / autocorrelation
+# ---------------------------------------------------------------------------
+
+
+#: Batch only small-to-medium blocks — measured: beyond ~2048 elements
+#: the stacked temporaries blow the cache while the per-block reference
+#: (itself vectorised) stays resident, so batching loses. Module-level
+#: so tests can force either path.
+LEARN_BLOCK_MAX_ELEMS = 2048
+
+
+def learn_blocks_numpy(blocks):
+    """Batched learn: stack same-size blocks and compute every block's
+    aggregates in shared axis-wise passes (per-row pairwise sums are
+    identical to per-block sums)."""
+    from repro.analysis.statistics.moments import MomentAccumulator
+
+    arrs = [np.asarray(b, dtype=np.float64).ravel() for b in blocks]
+    if not arrs:
+        return []
+    m = arrs[0].size
+    if (m == 0 or m > LEARN_BLOCK_MAX_ELEMS
+            or any(a.size != m for a in arrs)):
+        return _ref("statistics.learn_blocks")(blocks)
+    stack = np.stack(arrs)
+    if not np.all(np.isfinite(stack)):
+        # Re-run per block so the error surfaces exactly as the
+        # reference raises it (first offending block).
+        return _ref("statistics.learn_blocks")(blocks)
+    means = np.mean(stack, axis=1)
+    d = stack - means[:, None]
+    d2 = d * d
+    mins = np.min(stack, axis=1)
+    maxs = np.max(stack, axis=1)
+    m2 = np.sum(d2, axis=1)
+    m3 = np.sum(d2 * d, axis=1)
+    m4 = np.sum(d2 * d2, axis=1)
+    return [MomentAccumulator(n=m, minimum=float(mins[i]),
+                              maximum=float(maxs[i]), mean=float(means[i]),
+                              M2=float(m2[i]), M3=float(m3[i]),
+                              M4=float(m4[i]))
+            for i in range(len(arrs))]
+
+
+def _pebay_pair(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vectorized ``MomentAccumulator.merge`` over packed rows.
+
+    Term-for-term the same expressions (and evaluation order) as the
+    scalar formulas, so each elementwise IEEE operation matches.
+    """
+    na = a[..., 0]
+    nb = b[..., 0]
+    n = na + nb
+    delta = b[..., 3] - a[..., 3]
+    delta2 = delta * delta
+    out = np.empty_like(a)
+    out[..., 0] = n
+    out[..., 1] = np.minimum(a[..., 1], b[..., 1])
+    out[..., 2] = np.maximum(a[..., 2], b[..., 2])
+    out[..., 3] = a[..., 3] + delta * nb / n
+    out[..., 4] = a[..., 4] + b[..., 4] + delta2 * na * nb / n
+    out[..., 5] = (a[..., 5] + b[..., 5]
+                   + delta * delta2 * na * nb * (na - nb) / (n * n)
+                   + 3.0 * delta * (na * b[..., 4] - nb * a[..., 4]) / n)
+    out[..., 6] = (a[..., 6] + b[..., 6]
+                   + delta2 * delta2 * na * nb
+                   * (na * na - na * nb + nb * nb) / (n * n * n)
+                   + 6.0 * delta2
+                   * (na * na * b[..., 4] + nb * nb * a[..., 4]) / (n * n)
+                   + 4.0 * delta * (na * b[..., 5] - nb * a[..., 5]) / n)
+    return out
+
+
+def _fold_packed(arr: np.ndarray) -> np.ndarray:
+    """Pairwise tree fold over axis 0 with the reference's pairing."""
+    while arr.shape[0] > 1:
+        m = arr.shape[0]
+        even = m - (m % 2)
+        merged = _pebay_pair(arr[0:even:2], arr[1:even:2])
+        if m % 2:
+            merged = np.concatenate([merged, arr[-1:]])
+        arr = merged
+    return arr[0]
+
+
+def _unpack_moments(vec: np.ndarray):
+    from repro.analysis.statistics.moments import MomentAccumulator
+
+    return MomentAccumulator(n=int(vec[0]), minimum=float(vec[1]),
+                             maximum=float(vec[2]), mean=float(vec[3]),
+                             M2=float(vec[4]), M3=float(vec[5]),
+                             M4=float(vec[6]))
+
+
+def merge_moments_numpy(accs):
+    """Tree merge of accumulators, folding whole levels elementwise."""
+    accs = list(accs)
+    if not accs:
+        raise ValueError("cannot merge an empty accumulator list")
+    if len(accs) == 1:
+        return accs[0]
+    # Tuple rows beat per-accumulator pack() calls ~3x; the float64
+    # conversion of each field is identical either way.
+    arr = np.array([(a.n, a.minimum, a.maximum, a.mean, a.M2, a.M3, a.M4)
+                    for a in accs], dtype=np.float64)
+    if np.any(arr[:, 0] == 0):
+        # Empty accumulators short-circuit pairwise in the reference;
+        # keep those exact semantics by deferring to it.
+        return _ref("statistics.merge_moments")(accs)
+    return _unpack_moments(_fold_packed(arr))
+
+
+def merge_packed_moments_numpy(packed, n_vars: int):
+    """Merge every variable's rank partials at once: reshape to
+    ``(ranks, n_vars, 7)`` and fold the rank axis."""
+    packed = list(packed)
+    if not packed or n_vars == 0:
+        return _ref("statistics.merge_packed_moments")(packed, n_vars)
+    arr = np.stack([np.asarray(v, dtype=np.float64) for v in packed])
+    arr = arr.reshape(len(packed), n_vars, 7)
+    if np.any(arr[:, :, 0] == 0):
+        return _ref("statistics.merge_packed_moments")(packed, n_vars)
+    merged = _fold_packed(arr)
+    return [_unpack_moments(merged[i]) for i in range(n_vars)]
+
+
+def bivariate_histogram_numpy(x, y, x_edges, y_edges, shape):
+    """Joint histogram as one ``bincount`` over linearised cell indices
+    (identical integer counts to the scatter-add reference)."""
+    nx, ny = shape
+    xi = np.clip(np.searchsorted(x_edges, x, side="right") - 1, 0, nx - 1)
+    yi = np.clip(np.searchsorted(y_edges, y, side="right") - 1, 0, ny - 1)
+    flat = np.bincount(xi * ny + yi, minlength=nx * ny)
+    return flat.astype(np.int64).reshape(nx, ny)
+
+
+def autocorr_cross_sums_numpy(current, history):
+    """All lags' cross sums in batched axis-wise passes; the current
+    field's own sums are computed once instead of once per lag."""
+    x = np.asarray(current, dtype=np.float64).ravel()
+    if not history:
+        return np.empty((0, 6), dtype=np.float64)
+    ys = [np.asarray(h, dtype=np.float64).ravel() for h in history]
+    if any(y.shape != x.shape for y in ys):
+        return _ref("statistics.autocorr_cross_sums")(current, history)
+    stack = np.stack(ys)
+    out = np.empty((len(ys), 6), dtype=np.float64)
+    out[:, 0] = x.size
+    out[:, 1] = float(x.sum())
+    out[:, 2] = stack.sum(axis=1)
+    out[:, 3] = float((x * x).sum())
+    out[:, 4] = (stack * stack).sum(axis=1)
+    out[:, 5] = (x[None, :] * stack).sum(axis=1)
+    return out
+
+
+def autocorr_merge_numpy(packed_partials, max_lag: int):
+    """Left-fold the rank partials for every lag at once (additions in
+    the same rank order as the reference)."""
+    if max_lag == 0:
+        return np.empty((0, 6), dtype=np.float64)
+    if not packed_partials:
+        return np.zeros((max_lag, 6), dtype=np.float64)
+    arr = np.stack([np.asarray(v, dtype=np.float64)
+                    for v in packed_partials])
+    arr = arr.reshape(arr.shape[0], max_lag, 6)
+    acc = np.zeros((max_lag, 6), dtype=np.float64)
+    for r in range(arr.shape[0]):
+        acc = acc + arr[r]
+    return acc
+
+
+KERNELS: dict[str, Callable[..., Any]] = {
+    "des.event_queue": make_event_queue_numpy,
+    "vmpi.pairwise_reduce": pairwise_reduce_numpy,
+    "vmpi.scan": scan_numpy,
+    "topology.merge_tree": merge_tree_numpy,
+    "topology.graph_merge_tree": graph_merge_tree_numpy,
+    "topology.glue_batch": glue_batch_numpy,
+    "statistics.learn_blocks": learn_blocks_numpy,
+    "statistics.merge_moments": merge_moments_numpy,
+    "statistics.merge_packed_moments": merge_packed_moments_numpy,
+    "statistics.bivariate_histogram": bivariate_histogram_numpy,
+    "statistics.autocorr_cross_sums": autocorr_cross_sums_numpy,
+    "statistics.autocorr_merge": autocorr_merge_numpy,
+}

@@ -298,11 +298,29 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_blame(args: argparse.Namespace) -> int:
     import json
 
-    from repro.obs import blame, load_trace
+    from repro.obs import blame, kernel_table, load_trace, top_kernels
 
     if args.trace:
         trace = load_trace(args.trace)
         source = args.trace
+    elif args.functional:
+        # The laptop-scale functional pipeline exercises the real
+        # analysis kernels (merge trees, statistics, collectives), so
+        # this is the mode where --top-kernels has something to rank.
+        from repro.core import HybridFramework
+        from repro.obs.tracer import tracing
+        from repro.sim import LiftedFlameCase, StructuredGrid3D
+        from repro.vmpi import BlockDecomposition3D
+
+        shape = (16, 12, 8)
+        with tracing() as tracer:
+            fw = HybridFramework(LiftedFlameCase(StructuredGrid3D(shape),
+                                                 seed=7),
+                                 BlockDecomposition3D(shape, (2, 2, 1)),
+                                 n_buckets=2)
+            fw.run(args.steps)
+        trace = tracer.trace
+        source = f"functional pipeline ({args.steps} steps)"
     else:
         from repro.core import ExperimentConfig, ScaledExperiment
 
@@ -317,6 +335,9 @@ def _cmd_blame(args: argparse.Namespace) -> int:
     report = blame(trace)
     print(f"source: {source}")
     print(report.table())
+    if args.top_kernels:
+        print()
+        print(kernel_table(top_kernels(trace, n=args.top_kernels)))
     out = _resolve_out(args.json, args.out_dir, "repro_blame.json")
     with open(out, "w", encoding="utf-8") as fh:
         json.dump(report.to_dict(), fh, indent=2)
@@ -451,6 +472,14 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                                     fault_seed=args.seed)
         report = compare_record(record, baseline, policies)
         print(report.table())
+        usages = record.meta.get("top_kernels") or []
+        if usages:
+            from repro.obs.blame import KernelUsage, kernel_table
+
+            print()
+            print(kernel_table([KernelUsage(**u) for u in usages]))
+            print(f"(kernel ranking recorded under backend "
+                  f"{record.meta.get('backend', 'reference')!r})")
         counts = report.counts()
         summary = ", ".join(f"{counts[k]} {k}" for k in sorted(counts))
         print(f"\ngate: {'PASS' if report.ok else 'FAIL'} ({summary})")
@@ -484,6 +513,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Hybrid in-situ/in-transit analysis framework "
                     "(SC'12 reproduction)")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="kernel backend for this invocation "
+                             "(reference, numpy, ...); overrides the "
+                             "REPRO_BACKEND environment variable")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("tables", help="print the Table I/II reproductions")
@@ -552,6 +585,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", default=None,
                    help="attribute an existing trace export (JSONL or "
                         "Chrome JSON) instead of replaying the schedule")
+    p.add_argument("--functional", action="store_true",
+                   help="attribute the laptop-scale functional pipeline "
+                        "(exercises the backend kernels)")
+    p.add_argument("--top-kernels", type=int, default=0, metavar="N",
+                   help="also rank the top N kernels by wall time "
+                        "(kernel-tagged spans from the backend seam)")
     p.add_argument("--out-dir", default="repro_out",
                    help="artifact directory (default: repro_out/)")
     p.add_argument("--json", default=None,
@@ -623,7 +662,15 @@ _COMMANDS = {
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    if args.backend:
+        from repro.backend import set_backend
+
+        set_backend(args.backend)
+    try:
+        return _COMMANDS[args.command](args)
+    finally:
+        if args.backend:
+            set_backend(None)
 
 
 if __name__ == "__main__":

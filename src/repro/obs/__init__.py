@@ -50,11 +50,14 @@ from repro.obs.analysis import (
 from repro.obs.blame import (
     BlameBreakdown,
     BlameReport,
+    KernelUsage,
     StepBlame,
     TraceDiff,
     blame,
     diff_traces,
     flow_edge_totals,
+    kernel_table,
+    top_kernels,
 )
 from repro.obs.export import (
     lane_summary,
@@ -125,11 +128,14 @@ __all__ = [
     "reconcile_totals",
     "BlameBreakdown",
     "BlameReport",
+    "KernelUsage",
     "StepBlame",
     "TraceDiff",
     "blame",
     "diff_traces",
     "flow_edge_totals",
+    "kernel_table",
+    "top_kernels",
     "BLAME_BUCKETS",
     "EDGE_KINDS",
     "FlowContext",

@@ -47,8 +47,11 @@ __all__ = [
     "BlameBreakdown",
     "StepBlame",
     "BlameReport",
+    "KernelUsage",
     "blame",
     "flow_edge_totals",
+    "top_kernels",
+    "kernel_table",
     "TraceDiff",
     "diff_traces",
 ]
@@ -274,6 +277,69 @@ def blame(trace: Trace, per_step: bool = True) -> BlameReport:
             edge_totals[kind] = edge_totals.get(kind, 0.0) + total
     return BlameReport(overall=overall, steps=steps,
                        edge_totals=edge_totals, method=path.method)
+
+
+# -- kernel attribution --------------------------------------------------------
+
+
+@dataclass
+class KernelUsage:
+    """One kernel's aggregate wall time across a trace.
+
+    Kernel spans are the ``kernel.<name>`` spans the backend seam opens
+    around every dispatched hot-path call (see :mod:`repro.backend`);
+    they carry ``kernel=`` and ``backend=`` tags and no ``stage`` tag, so
+    they never perturb stage totals or critical paths — this is the
+    read side of that instrumentation.
+    """
+
+    kernel: str
+    backend: str
+    calls: int
+    wall_s: float
+    #: Fraction of the total kernel wall time across the trace.
+    share: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kernel": self.kernel, "backend": self.backend,
+                "calls": self.calls, "wall_s": self.wall_s,
+                "share": self.share}
+
+
+def top_kernels(trace: Trace, n: int | None = None) -> list[KernelUsage]:
+    """Rank kernel-tagged spans by total wall time, descending.
+
+    This is the blame view the backend work is guided by: which hot
+    paths actually dominate, under which backend, and how the ranking
+    shifts when a vectorized backend is switched on.
+    """
+    totals: dict[tuple[str, str], tuple[int, float]] = {}
+    for span in trace.closed_spans():
+        kname = span.tags.get("kernel")
+        if kname is None:
+            continue
+        key = (str(kname), str(span.tags.get("backend", "?")))
+        calls, wall = totals.get(key, (0, 0.0))
+        totals[key] = (calls + 1, wall + span.wall_duration)
+    grand = sum(wall for _, wall in totals.values())
+    usages = [KernelUsage(kernel=k, backend=b, calls=calls, wall_s=wall,
+                          share=(wall / grand) if grand > 0 else 0.0)
+              for (k, b), (calls, wall) in totals.items()]
+    usages.sort(key=lambda u: (-u.wall_s, u.kernel, u.backend))
+    return usages[:n] if n is not None else usages
+
+
+def kernel_table(usages: list[KernelUsage]) -> str:
+    """Render a kernel ranking as a text table."""
+    if not usages:
+        return ("no kernel spans recorded (kernel dispatch is traced "
+                "only while a tracer is enabled)")
+    t = TextTable(["kernel", "backend", "calls", "wall (s)", "share"],
+                  title="kernel wall-time ranking")
+    for u in usages:
+        t.add_row([u.kernel, u.backend, u.calls, round(u.wall_s, 6),
+                   f"{100 * u.share:.1f}%"])
+    return t.render()
 
 
 # -- trace diffing -------------------------------------------------------------

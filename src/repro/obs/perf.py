@@ -425,16 +425,24 @@ def collect_run_record(n_steps: int = 10, n_buckets: int = 8,
                        repo_dir: str | Path | None = None) -> RunRecord:
     """Run the canonical observability workload and record it.
 
-    Two phases: (1) a traced DES replay of the staging schedule with live
-    probes and SLO rules attached; (2) the seeded crash-recovery scenario
-    from :mod:`repro.faults`. ``perturb`` maps cost-model operation names
-    to rate multipliers — the knob tests and humans use to demonstrate
-    that an artificially slowed stage trips the gate.
+    Three phases: (1) a traced DES replay of the staging schedule with
+    live probes and SLO rules attached; (2) the seeded crash-recovery
+    scenario from :mod:`repro.faults`; (3) a traced laptop-scale
+    functional pipeline run that exercises the backend kernels and
+    yields the per-kernel wall timings (``wall.kernel.<name>_s``) and
+    the ``meta["top_kernels"]`` ranking — recorded under whichever
+    backend is active, with the backend name in ``meta["backend"]``.
+    ``perturb`` maps cost-model operation names to rate multipliers —
+    the knob tests and humans use to demonstrate that an artificially
+    slowed stage trips the gate.
     """
+    from repro.backend import get_backend
     from repro.core import ExperimentConfig, ScaledExperiment
     from repro.costmodel.jaguar import jaguar_cost_model
     from repro.faults import FaultConfig, run_resilience_experiment
     from repro.obs.analysis import critical_path
+    from repro.obs.blame import top_kernels
+    from repro.obs.tracer import tracing
 
     wall_start = time.perf_counter()
     cost = jaguar_cost_model()
@@ -486,9 +494,27 @@ def collect_run_record(n_steps: int = 10, n_buckets: int = 8,
         FaultConfig(seed=fault_seed, crash_rate=100.0, horizon=0.06),
         n_tasks=32, n_buckets=4)
     metrics.update(fault_report.to_metrics())
+
+    # Phase 3: kernel-tagged functional run (wall-clock, never gated).
+    from repro.core import HybridFramework
+    from repro.sim import LiftedFlameCase, StructuredGrid3D
+    from repro.vmpi import BlockDecomposition3D
+
+    shape = (16, 12, 8)
+    with tracing() as ktracer:
+        fw = HybridFramework(LiftedFlameCase(StructuredGrid3D(shape),
+                                             seed=7),
+                             BlockDecomposition3D(shape, (2, 2, 1)),
+                             n_buckets=2)
+        fw.run(3)
+    usages = top_kernels(ktracer.trace)
+    for u in usages:
+        metrics[f"wall.kernel.{u.kernel}_s"] = u.wall_s
     metrics["wall.record_s"] = time.perf_counter() - wall_start
 
     meta = {
+        "backend": get_backend(),
+        "top_kernels": [u.to_dict() for u in usages],
         "n_steps": n_steps,
         "n_buckets": n_buckets,
         "perturb": dict(perturb or {}),

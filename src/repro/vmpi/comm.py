@@ -16,6 +16,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.backend import kernel
 from repro.machine.gemini import GeminiNetwork
 from repro.obs.flow import EDGE_COLLECTIVE, FlowContext
 from repro.obs.tracer import get_tracer
@@ -87,12 +88,17 @@ class CommTracker:
         self.records.clear()
 
 
+@kernel("vmpi.pairwise_reduce")
 def _pairwise_reduce(values: list[Any], op: Callable[[Any, Any], Any]) -> Any:
     """Tree-order (pairwise) reduction — the order real MPI trees use.
 
     Pairwise order matters for floating-point reproducibility claims: it is
     deterministic for a fixed rank count and numerically better conditioned
     than left-to-right folding.
+
+    Backend seam: the numpy backend stacks same-shape ndarray contributions
+    and folds whole tree levels in single elementwise array operations —
+    the *same* pairing, so results stay bit-identical.
     """
     vals = list(values)
     if not vals:
@@ -105,6 +111,22 @@ def _pairwise_reduce(values: list[Any], op: Callable[[Any, Any], Any]) -> Any:
             nxt.append(vals[-1])
         vals = nxt
     return vals[0]
+
+
+@kernel("vmpi.scan")
+def _scan_fold(values: list[Any], op: Callable[[Any, Any], Any]) -> list[Any]:
+    """Inclusive left-fold prefix reduction (MPI_Scan operation order).
+
+    Backend seam: the numpy backend maps whitelisted operators onto
+    ``ufunc.accumulate`` over the stacked contributions, which applies the
+    identical left-to-right fold in one pass.
+    """
+    out: list[Any] = []
+    acc = None
+    for v in values:
+        acc = v if acc is None else op(acc, v)
+        out.append(acc)
+    return out
 
 
 class VirtualComm:
@@ -222,12 +244,7 @@ class VirtualComm:
         nbytes = payload_bytes(values[0])
         self.tracker.add("scan", self.n_ranks, nbytes,
                          coll.scan_time(self.network, self.n_ranks, nbytes))
-        out = []
-        acc = None
-        for v in values:
-            acc = v if acc is None else op(acc, v)
-            out.append(acc)
-        return out
+        return _scan_fold(list(values), op)
 
     def exscan(self, values: Sequence[Any], op: Callable[[Any, Any], Any]
                ) -> list[Any]:
