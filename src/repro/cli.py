@@ -24,7 +24,12 @@ Commands:
 * ``perf``      — cross-run performance: ``record`` appends the canonical
   run record to a store, ``compare`` gates a fresh run against the
   committed baseline (nonzero exit on regression), ``report`` renders the
-  self-contained HTML dashboard.
+  self-contained HTML dashboard;
+* ``serve``     — drain a multi-tenant JSONL campaign batch through the
+  service layer (fair-share queue, per-tenant quotas, sharded staging,
+  memoized schedule cache) and emit the per-tenant report;
+* ``submit``    — append one validated job spec to a JSONL batch file;
+* ``jobs``      — list job records from the service state directory.
 
 File-writing commands put their artifacts under ``--out-dir``
 (default ``repro_out/``): an explicit *relative* output path is placed
@@ -442,7 +447,11 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             MetricPolicy(pattern, tolerance=tol)
             for pattern, tol in _parse_kv_floats(args.tolerance,
                                                  "--tolerance").items())
-        policies = overrides + DEFAULT_POLICIES
+        # Wall-clock metrics stay ungated even under a catch-all
+        # override: they are host noise, and a '*=X' tolerance must not
+        # silently re-gate them.
+        policies = ((MetricPolicy("wall.*", gate=False),)
+                    + overrides + DEFAULT_POLICIES)
 
     if args.action == "record":
         record = collect_run_record(n_steps=args.steps,
@@ -505,6 +514,162 @@ def _cmd_perf(args: argparse.Namespace) -> int:
           f"{', with gate panel' if report is not None else ''})")
     if not records:
         print("store is empty — run `python -m repro perf record` first")
+    return 0
+
+
+def _service_state(args: argparse.Namespace) -> Path:
+    """Service state directory (schedule cache + job records)."""
+    state = Path(args.state_dir) if args.state_dir else (
+        Path(args.out_dir) / "service")
+    state.mkdir(parents=True, exist_ok=True)
+    return state
+
+
+def _load_batch(path: Path) -> tuple[list, list]:
+    """Parse a JSONL batch file into (specs, quotas).
+
+    Each line is either a job spec or ``{"quota": {...}}``.
+    """
+    import json
+
+    from repro.service import JobSpec, TenantQuota
+
+    specs, quotas = [], []
+    if not path.exists():
+        raise SystemExit(f"no such batch file: {path}")
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                d = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(
+                    f"{path}:{lineno}: not valid JSON: {exc}") from None
+            try:
+                if "quota" in d:
+                    quotas.append(TenantQuota(**d["quota"]))
+                else:
+                    specs.append(JobSpec.from_dict(d))
+            except (TypeError, ValueError) as exc:
+                raise SystemExit(f"{path}:{lineno}: {exc}") from None
+    return specs, quotas
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.perf import RunStore
+    from repro.service import CampaignService, ScheduleCache, TenantQuota
+
+    specs, quotas = _load_batch(Path(args.jobs))
+    if not specs:
+        raise SystemExit(f"batch file {args.jobs} holds no jobs")
+    for pair in args.quota:
+        tenant, sep, raw = pair.partition("=")
+        if not sep or not tenant:
+            raise SystemExit(f"--quota expects TENANT=N, got {pair!r}")
+        try:
+            quotas.append(TenantQuota(tenant, max_concurrent=int(raw)))
+        except ValueError as exc:
+            raise SystemExit(f"--quota {pair!r}: {exc}") from None
+
+    state = _service_state(args)
+    service = CampaignService(
+        workers=args.workers,
+        quotas=quotas,
+        default_quota=TenantQuota("*", max_concurrent=args.default_quota),
+        cache=ScheduleCache(state / "cache"),
+        jobs_store=RunStore(state / "jobs"))
+    report = service.run_batch(specs)
+
+    print(report.table())
+    if report.shard_balance is not None:
+        bal = report.shard_balance
+        print(f"shard balance over {bal.n_shards} shard(s): "
+              f"imbalance {bal.imbalance('tasks'):.2f}x tasks, "
+              f"{bal.imbalance('bytes'):.2f}x bytes")
+    out = _resolve_out(args.report, args.out_dir, "service_report.json")
+    out.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True),
+                   encoding="utf-8")
+    print(f"wrote {out}")
+
+    failed = [j for j in report.jobs if j.state.value == "failed"]
+    stuck = [j for j in report.jobs if j.state.value not in ("done", "failed")]
+    rc = 0
+    for job in failed:
+        print(f"FAILED {job.job_id}: {job.error}")
+        rc = 1
+    for job in stuck:
+        print(f"STUCK {job.job_id}: still {job.state.value} after drain")
+        rc = 1
+    if args.min_cache_hit_rate is not None \
+            and report.cache_hit_rate < args.min_cache_hit_rate:
+        print(f"CACHE MISS RATE TOO HIGH: hit rate "
+              f"{report.cache_hit_rate:.0%} < required "
+              f"{args.min_cache_hit_rate:.0%}")
+        rc = 1
+    if args.expect_quota_held and report.held_events == 0:
+        print("EXPECTED QUOTA ENFORCEMENT: no job was ever held")
+        rc = 1
+    return rc
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import JobSpec
+
+    try:
+        spec = JobSpec(
+            tenant=args.tenant, name=args.name, config=args.config,
+            n_steps=args.steps, n_buckets=args.buckets,
+            analysis_interval=args.interval,
+            analyses=tuple(args.analyses) if args.analyses else
+            ("VIS_HYBRID", "TOPO_HYBRID", "STATS_HYBRID"),
+            n_shards=args.shards, submit_at=args.submit_at)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    path = Path(args.jobs)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(spec.to_dict(), sort_keys=True) + "\n")
+    print(f"queued {spec.tenant}/{spec.name} ({spec.config}, "
+          f"{spec.n_steps} steps, {spec.n_buckets} buckets, "
+          f"{spec.n_shards} shard(s)) -> {path}")
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.obs.perf import RunStore
+    from repro.service.api import JOBS_SOURCE
+
+    state = _service_state(args)
+    store = RunStore(state / "jobs")
+    records = [r for r in store.records() if r.source == JOBS_SOURCE]
+    if args.tenant:
+        records = [r for r in records
+                   if r.meta.get("tenant") == args.tenant]
+    if args.limit:
+        records = records[-args.limit:]
+    if not records:
+        print(f"no job records in {store.path}")
+        return 0
+    header = (f"{'job':<28} {'tenant':<10} {'state':<7} {'cache':<5} "
+              f"{'wait (s)':>9} {'makespan (s)':>12}")
+    print(header)
+    print("-" * len(header))
+    for rec in records:
+        meta = rec.meta
+        wait = rec.metrics.get("service.queue_wait_s", 0.0)
+        span = rec.metrics.get("service.makespan_s", 0.0)
+        print(f"{meta.get('job_id', rec.run_id):<28} "
+              f"{meta.get('tenant', '?'):<10} "
+              f"{meta.get('state', '?'):<7} "
+              f"{'hit' if meta.get('cache_hit') else 'miss':<5} "
+              f"{wait:>9.3f} {span:>12.3f}")
+    print(f"{len(records)} job(s) from {store.path}")
     return 0
 
 
@@ -643,6 +808,69 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--html", default=None,
                    help="dashboard path (default: "
                         "<out-dir>/perf_dashboard.html)")
+
+    p = sub.add_parser("serve", help="drain a multi-tenant campaign batch "
+                                     "through the service layer")
+    p.add_argument("--jobs", required=True,
+                   help="JSONL batch file (one job spec per line; "
+                        '{"quota": {...}} lines set tenant quotas)')
+    p.add_argument("--workers", type=int, default=2,
+                   help="DES worker pool size (default: 2)")
+    p.add_argument("--quota", action="append", default=[],
+                   metavar="TENANT=N",
+                   help="max concurrent jobs for a tenant (repeatable); "
+                        "overrides quota lines in the batch file")
+    p.add_argument("--default-quota", type=int, default=2,
+                   help="max concurrent jobs for tenants without an "
+                        "explicit quota (default: 2)")
+    p.add_argument("--out-dir", default="repro_out",
+                   help="artifact directory (default: repro_out/)")
+    p.add_argument("--state-dir", default=None,
+                   help="service state directory holding the schedule "
+                        "cache and job records "
+                        "(default: <out-dir>/service)")
+    p.add_argument("--report", default=None,
+                   help="batch report JSON path "
+                        "(default: <out-dir>/service_report.json)")
+    p.add_argument("--min-cache-hit-rate", type=float, default=None,
+                   metavar="RATE",
+                   help="exit 1 if the batch cache hit rate is below RATE "
+                        "(e.g. 1.0 for a warm resubmission)")
+    p.add_argument("--expect-quota-held", action="store_true",
+                   help="exit 1 unless admission control held at least "
+                        "one job (quota-enforcement smoke check)")
+
+    p = sub.add_parser("submit", help="append one job to a JSONL batch file")
+    p.add_argument("--jobs", required=True,
+                   help="JSONL batch file to append to (created if missing)")
+    p.add_argument("--tenant", required=True)
+    p.add_argument("--name", required=True, help="job name (for reports)")
+    p.add_argument("--config", default="paper_4896",
+                   choices=("paper_4896", "paper_9440"),
+                   help="machine allocation to replay (Table I column)")
+    p.add_argument("--steps", type=int, default=10)
+    p.add_argument("--buckets", type=int, default=8)
+    p.add_argument("--interval", type=int, default=1,
+                   help="analysis interval (steps between analysed steps)")
+    p.add_argument("--analyses", nargs="+", default=None,
+                   metavar="VARIANT",
+                   help="analytics variants (default: the three hybrid "
+                        "variants)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="DataSpaces shards for this job's staging area")
+    p.add_argument("--submit-at", type=float, default=0.0,
+                   help="service-clock submission time (default: 0)")
+
+    p = sub.add_parser("jobs", help="list completed service job records")
+    p.add_argument("--out-dir", default="repro_out",
+                   help="artifact directory (default: repro_out/)")
+    p.add_argument("--state-dir", default=None,
+                   help="service state directory "
+                        "(default: <out-dir>/service)")
+    p.add_argument("--tenant", default=None,
+                   help="only this tenant's jobs")
+    p.add_argument("--limit", type=int, default=0,
+                   help="only the last N records (0 = all)")
     return parser
 
 
@@ -657,6 +885,9 @@ _COMMANDS = {
     "blame": _cmd_blame,
     "faults": _cmd_faults,
     "perf": _cmd_perf,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
 }
 
 

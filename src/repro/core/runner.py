@@ -15,7 +15,9 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -87,6 +89,10 @@ class ScheduleResult:
     #: Live-probe sampler attached to the replay (``probe_interval``
     #: given under tracing), carrying gauge time series and SLO alerts.
     probes: "ProbeSampler | None" = None
+    #: Per-shard load report (a :class:`repro.service.shards.ShardBalanceReport`)
+    #: when the replay ran on sharded staging (``n_shards > 1``); None on
+    #: the classic single-space path.
+    shard_balance: Any | None = None
 
     def by_analysis(self, name: str) -> list[TaskResult]:
         return [r for r in self.results if r.analysis == name]
@@ -199,7 +205,6 @@ class ScaledExperiment:
             raise ValueError("n_buckets must be >= 1")
         row = self.analytics_timing(variant)
         task = row.movement_time + row.intransit_time
-        import math
         return max(1, math.ceil(task / (self.simulation_step_time()
                                         * n_buckets)))
 
@@ -214,7 +219,6 @@ class ScaledExperiment:
         """
         if analysis_interval < 1 or n_buckets < 1:
             raise ValueError("analysis_interval and n_buckets must be >= 1")
-        import math
         per_step = sum(self.workload.movement_bytes_total(v)
                        for v in HYBRID_VARIANTS)
         slowest = max(self.analytics_timing(v).movement_time
@@ -248,7 +252,11 @@ class ScaledExperiment:
                      n_buckets: int | None = None,
                      analysis_interval: int = 1,
                      probe_interval: float | None = None,
-                     slos: tuple | None = None) -> ScheduleResult:
+                     slos: tuple | None = None,
+                     n_shards: int = 1,
+                     lease_timeout: float | None = None,
+                     bucket_restart_delay: float | None = None,
+                     max_bucket_restarts: int = 0) -> ScheduleResult:
         """Replay ``n_steps`` of the hybrid workflow on the DES.
 
         One grouped in-transit task per (hybrid analysis, analysed step)
@@ -264,26 +272,55 @@ class ScaledExperiment:
         seconds and the SLO rules (``slos``, default
         :func:`~repro.obs.probes.default_slos`) are checked live; the
         sampler is returned on :attr:`ScheduleResult.probes`.
+
+        With ``n_shards > 1`` the staging area is a
+        :class:`~repro.service.shards.ShardedDataSpaces`: N independent
+        tuple-space shards (each with its own transport fabric and
+        scheduler) with region keys DHT-routed across them; buckets are
+        split over the shards and :attr:`ScheduleResult.shard_balance`
+        carries the per-shard load report. The fault knobs
+        (``lease_timeout``, ``bucket_restart_delay``,
+        ``max_bucket_restarts``) mirror the :class:`DataSpaces`
+        constructor and apply per shard.
         """
         if n_steps < 1:
             raise ValueError(f"n_steps must be >= 1, got {n_steps}")
         if analysis_interval < 1:
             raise ValueError("analysis_interval must be >= 1")
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         n_buckets = n_buckets if n_buckets is not None else self.config.n_intransit_cores
         if n_buckets < 1:
             raise ValueError("need at least one staging bucket")
 
         engine = Engine()
-        transport = DartTransport(engine, self.machine.network)
-        ds = DataSpaces(engine, transport,
-                        n_servers=max(1, self.config.n_service_cores),
-                        cost_model=self._service_cost_model())
+        if n_shards == 1:
+            transport = DartTransport(engine, self.machine.network)
+            ds: Any = DataSpaces(
+                engine, transport,
+                n_servers=max(1, self.config.n_service_cores),
+                cost_model=self._service_cost_model(),
+                lease_timeout=lease_timeout,
+                bucket_restart_delay=bucket_restart_delay,
+                max_bucket_restarts=max_bucket_restarts)
+            probe_map = standard_probes(ds, transport)
+        else:
+            # Lazy import: repro.service depends on this module.
+            from repro.service.shards import ShardedDataSpaces
+            ds = ShardedDataSpaces(
+                engine, self.machine.network, n_shards=n_shards,
+                n_servers=max(1, self.config.n_service_cores),
+                cost_model=self._service_cost_model(),
+                lease_timeout=lease_timeout,
+                bucket_restart_delay=bucket_restart_delay,
+                max_bucket_restarts=max_bucket_restarts)
+            probe_map = ds.probe_map()
         ds.spawn_buckets([f"staging-{i}" for i in range(n_buckets)])
 
         sampler: ProbeSampler | None = None
         if probe_interval is not None and get_tracer().enabled:
             sampler = ProbeSampler(
-                probe_interval, standard_probes(ds, transport),
+                probe_interval, probe_map,
                 slos=default_slos(n_buckets) if slos is None else slos)
             engine.attach_probe(sampler)
 
@@ -340,11 +377,18 @@ class ScaledExperiment:
             sampler.finalize(get_tracer().trace)
         results = ds.all_results()
         makespan = max((r.finish_time for r in results), default=0.0)
+        if n_shards == 1:
+            assignments = list(ds.scheduler.assignments)
+            shard_balance = None
+        else:
+            assignments = ds.assignment_records()
+            shard_balance = ds.balance_report()
         return ScheduleResult(results=results, makespan=makespan,
                               n_steps=n_steps, sim_step_time=sim_dt,
                               n_buckets=n_buckets,
-                              assignments=list(ds.scheduler.assignments),
-                              probes=sampler)
+                              assignments=assignments,
+                              probes=sampler,
+                              shard_balance=shard_balance)
 
     # -- observability ------------------------------------------------------------
 

@@ -510,6 +510,40 @@ def collect_run_record(n_steps: int = 10, n_buckets: int = 8,
     usages = top_kernels(ktracer.trace)
     for u in usages:
         metrics[f"wall.kernel.{u.kernel}_s"] = u.wall_s
+
+    # Phase 4: a small deterministic multi-tenant service batch, so the
+    # service-layer figures (queue waits, cache hit rate, quota holds,
+    # per-shard load) ride the same record/gate path as everything else.
+    # Runs under its own tracing block to keep phase-1 metrics untouched;
+    # tenant-b's 1-job quota forces a hold, the duplicate spec forces a
+    # cache hit, and the sharded spec populates the per-shard gauges.
+    from repro.service import CampaignService, JobSpec, TenantQuota
+
+    with tracing() as stracer:
+        svc = CampaignService(
+            workers=3, quotas=[TenantQuota("tenant-b", max_concurrent=1)])
+        svc.run_batch([
+            JobSpec(tenant="tenant-a", name="replay", n_steps=2, n_buckets=3),
+            JobSpec(tenant="tenant-a", name="rerun", n_steps=2, n_buckets=3),
+            JobSpec(tenant="tenant-b", name="sharded-1", n_steps=2,
+                    n_buckets=4, n_shards=2),
+            JobSpec(tenant="tenant-b", name="sharded-2", n_steps=2,
+                    n_buckets=4, n_shards=2),
+        ])
+    ssnap = stracer.metrics.snapshot()
+    waits = ssnap["histograms"].get("service.queue_wait_s")
+    if waits is not None:
+        metrics["service.queue_wait_mean_s"] = waits["mean"]
+        metrics["service.queue_wait_max_s"] = waits["max"]
+    for gname, gauge in ssnap["gauges"].items():
+        if gname.startswith("service."):
+            metrics[gname] = gauge["last"]
+    metrics["service.jobs_done"] = ssnap["counters"].get(
+        "service.cache_hits", 0.0) + ssnap["counters"].get(
+        "service.cache_misses", 0.0)
+    metrics["service.held_events"] = float(
+        sum(job.held for job in svc.jobs))
+
     metrics["wall.record_s"] = time.perf_counter() - wall_start
 
     meta = {

@@ -1,0 +1,44 @@
+"""`repro.service` — schedule-as-a-service in front of the campaign runner.
+
+The paper's hybrid in-situ/in-transit design serves exactly one campaign
+in one process. This package turns the reproduction into a multi-tenant
+campaign service:
+
+* :mod:`repro.service.queue` — job specs and the per-tenant fair-share
+  job queue;
+* :mod:`repro.service.quota` — per-tenant resource quotas (concurrent
+  jobs, staging-bytes budget, core allocation) with admission control;
+* :mod:`repro.service.workers` — the DES worker pool draining the queue;
+* :mod:`repro.service.shards` — sharded DataSpaces: N independent
+  tuple-space shards with :class:`~repro.staging.hashing.ServiceRing`
+  DHT routing of region keys;
+* :mod:`repro.service.cache` — the memoized schedule/cost-model cache
+  keyed by (machine fingerprint, workload spec, placement), persisted
+  through the RunStore contract;
+* :mod:`repro.service.api` — :class:`~repro.service.api.CampaignService`
+  tying the layers together, plus per-tenant reporting.
+"""
+
+from repro.service.api import CampaignService, ServiceReport, TenantReport
+from repro.service.cache import ScheduleCache, schedule_cache_key
+from repro.service.queue import Job, JobQueue, JobSpec, JobState
+from repro.service.quota import QuotaManager, TenantQuota
+from repro.service.shards import ShardBalanceReport, ShardedDataSpaces
+from repro.service.workers import WorkerPool
+
+__all__ = [
+    "CampaignService",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "JobState",
+    "QuotaManager",
+    "ScheduleCache",
+    "ServiceReport",
+    "ShardBalanceReport",
+    "ShardedDataSpaces",
+    "TenantQuota",
+    "TenantReport",
+    "WorkerPool",
+    "schedule_cache_key",
+]

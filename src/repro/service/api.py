@@ -1,0 +1,338 @@
+"""`CampaignService`: the multi-tenant campaign service front-end.
+
+Composition (one batch, end to end)::
+
+    submit --> JobQueue --(fair-share + QuotaManager admission)--> WorkerPool
+                   |                                                  |
+                   'asks per candidate                                v
+                                                    JobExecutor: ScheduleCache
+                                                      hit  -> cached result
+                                                      miss -> ScaledExperiment
+                                                              .run_schedule
+                                                              (ShardedDataSpaces
+                                                               when n_shards>1)
+
+The service clock is a dedicated DES engine: queue waits, quota holds
+and worker occupancy play out in simulated service time, so every batch
+is deterministic and the whole layer is testable at machine speed
+(SIM-SITU's argument, applied to our own service).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.core.runner import ScaledExperiment, ScheduleResult
+from repro.des import Engine
+from repro.machine.specs import MachineSpec
+from repro.obs.perf import RunRecord, RunStore, machine_fingerprint
+from repro.obs.tracer import get_tracer
+from repro.service.cache import ScheduleCache, schedule_cache_key
+from repro.service.queue import Job, JobQueue, JobSpec, JobState
+from repro.service.quota import Denial, JobDemand, QuotaManager, TenantQuota
+from repro.service.shards import ShardBalanceReport
+from repro.service.workers import WorkerPool
+
+JOBS_SOURCE = "service-job"
+
+
+class JobExecutor:
+    """Runs one job: schedule-cache lookup, else a full DES replay."""
+
+    def __init__(self, cache: ScheduleCache,
+                 machine: MachineSpec | None = None) -> None:
+        self.cache = cache
+        self.machine = machine
+
+    def _experiment(self, spec: JobSpec) -> ScaledExperiment:
+        return ScaledExperiment(spec.experiment_config(),
+                                machine=self.machine)
+
+    def cache_key(self, spec: JobSpec) -> str:
+        exp = self._experiment(spec)
+        return schedule_cache_key(machine_fingerprint(exp.machine),
+                                  spec.workload_dict(),
+                                  spec.placement_dict())
+
+    def demand(self, spec: JobSpec) -> JobDemand:
+        """Resources the job pins: its core allocation plus the peak
+        staging bytes of the replay (closed-form, no DES needed)."""
+        exp = self._experiment(spec)
+        return JobDemand(
+            staging_bytes=exp.staging_memory_needed(
+                spec.analysis_interval, spec.n_buckets),
+            cores=spec.experiment_config().n_cores)
+
+    def execute(self, spec: JobSpec) -> tuple[ScheduleResult, bool]:
+        """``(result, cache_hit)`` for one job."""
+        key = self.cache_key(spec)
+        cached = self.cache.lookup(key)
+        if cached is not None:
+            return cached, True
+        sched = self._experiment(spec).run_schedule(
+            n_steps=spec.n_steps,
+            analyses=spec.variants(),
+            n_buckets=spec.n_buckets,
+            analysis_interval=spec.analysis_interval,
+            n_shards=spec.n_shards,
+            lease_timeout=spec.lease_timeout,
+            bucket_restart_delay=spec.bucket_restart_delay,
+            max_bucket_restarts=spec.max_bucket_restarts)
+        self.cache.insert(key, sched, meta={"config": spec.config})
+        return sched, False
+
+
+@dataclass
+class TenantReport:
+    """One tenant's slice of a service batch."""
+
+    tenant: str
+    submitted: int = 0
+    done: int = 0
+    failed: int = 0
+    queued: int = 0
+    cache_hits: int = 0
+    #: Times this tenant's jobs were passed over by admission control.
+    held_events: int = 0
+    total_queue_wait: float = 0.0
+    max_queue_wait: float = 0.0
+    makespan_total: float = 0.0
+    bytes_pulled: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "tenant": self.tenant, "submitted": self.submitted,
+            "done": self.done, "failed": self.failed, "queued": self.queued,
+            "cache_hits": self.cache_hits, "held_events": self.held_events,
+            "total_queue_wait": self.total_queue_wait,
+            "max_queue_wait": self.max_queue_wait,
+            "makespan_total": self.makespan_total,
+            "bytes_pulled": self.bytes_pulled,
+        }
+
+
+@dataclass
+class ServiceReport:
+    """Whole-batch outcome: per-tenant figures + service-level stats."""
+
+    tenants: dict[str, TenantReport]
+    jobs: list[Job]
+    duration: float
+    cache_hits: int
+    cache_misses: int
+    held_events: int
+    shard_balance: ShardBalanceReport | None = None
+    quotas: dict[str, TenantQuota] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def all_done(self) -> bool:
+        return all(j.state is JobState.DONE for j in self.jobs)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "duration": self.duration,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "held_events": self.held_events,
+            "all_done": self.all_done,
+            "tenants": {t: r.to_dict() for t, r in sorted(self.tenants.items())},
+            "jobs": [j.to_dict() for j in self.jobs],
+            "shard_balance": (self.shard_balance.to_dict()
+                              if self.shard_balance is not None else None),
+            "quotas": {t: q.to_dict() for t, q in sorted(self.quotas.items())},
+        }
+
+    def table(self) -> str:
+        """Per-tenant summary table (the ``repro serve`` batch report)."""
+        header = (f"{'tenant':<12} {'jobs':>4} {'done':>4} {'fail':>4} "
+                  f"{'queued':>6} {'hits':>4} {'held':>4} "
+                  f"{'max wait (s)':>12} {'makespan (s)':>12}")
+        lines = [header, "-" * len(header)]
+        for tenant in sorted(self.tenants):
+            r = self.tenants[tenant]
+            lines.append(
+                f"{tenant:<12} {r.submitted:>4} {r.done:>4} {r.failed:>4} "
+                f"{r.queued:>6} {r.cache_hits:>4} {r.held_events:>4} "
+                f"{r.max_queue_wait:>12.3f} {r.makespan_total:>12.3f}")
+        lines.append(
+            f"batch: {len(self.jobs)} jobs in {self.duration:.3f}s service "
+            f"time, cache hit rate {self.cache_hit_rate:.0%}, "
+            f"{self.held_events} quota hold(s)")
+        return "\n".join(lines)
+
+
+class CampaignService:
+    """Multi-tenant schedule-as-a-service over a dedicated DES engine."""
+
+    def __init__(self, workers: int = 2,
+                 quotas: list[TenantQuota] | None = None,
+                 default_quota: TenantQuota | None = None,
+                 cache: ScheduleCache | RunStore | str | Path | None = None,
+                 jobs_store: RunStore | str | Path | None = None,
+                 machine: MachineSpec | None = None) -> None:
+        self.engine = Engine()
+        self.queue = JobQueue()
+        self.quota = QuotaManager(quotas, default=default_quota)
+        self.cache = (cache if isinstance(cache, ScheduleCache)
+                      else ScheduleCache(cache))
+        self.executor = JobExecutor(self.cache, machine=machine)
+        if jobs_store is not None and not isinstance(jobs_store, RunStore):
+            jobs_store = RunStore(jobs_store)
+        self.jobs_store = jobs_store
+        self.jobs: list[Job] = []
+        self._job_ids = itertools.count(1)
+        self.pool = WorkerPool(self.engine, workers,
+                               next_job=self._next_job,
+                               run_job=self._run_job,
+                               on_done=self._job_done)
+        #: Batch-level cache accounting (the shared ScheduleCache may be
+        #: warmed by earlier services; these count only this batch).
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Register one job; it enters the queue at ``spec.submit_at``."""
+        job = Job(spec=spec,
+                  job_id=f"{spec.tenant}/{spec.name}#{next(self._job_ids)}")
+        self.jobs.append(job)
+        at = max(spec.submit_at, self.engine.now)
+        self.engine.call_at(at, lambda: self._enqueue(job))
+        return job
+
+    def _enqueue(self, job: Job) -> None:
+        job.submit_t = self.engine.now
+        self.queue.push(job)
+        self._pump()
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _admit(self, job: Job) -> Denial | None:
+        if job.demand is None:
+            job.demand = self.executor.demand(job.spec)
+        return self.quota.check(job.tenant, job.demand)
+
+    def _next_job(self) -> Job | None:
+        job = self.queue.pop_runnable(self._admit)
+        if job is not None:
+            self.quota.acquire(job.tenant, job.demand)
+        return job
+
+    def _pump(self) -> None:
+        while self.pool.has_idle():
+            job = self._next_job()
+            if job is None:
+                break
+            self.pool.dispatch(job)
+
+    def _run_job(self, job: Job, worker: str) -> float:
+        job.state = JobState.RUNNING
+        job.worker = worker
+        job.start_t = self.engine.now
+        metrics = get_tracer().metrics
+        metrics.histogram("service.queue_wait_s").observe(job.queue_wait)
+        try:
+            sched, hit = self.executor.execute(job.spec)
+        except Exception as exc:  # noqa: BLE001 — job isolation boundary
+            job.state = JobState.FAILED
+            job.error = repr(exc)
+            metrics.counter("service.jobs_failed").inc()
+            return 0.0
+        job.result = sched
+        job.cache_hit = hit
+        if hit:
+            self.cache_hits += 1
+            metrics.counter("service.cache_hits").inc()
+        else:
+            self.cache_misses += 1
+            metrics.counter("service.cache_misses").inc()
+        # A hit serves from memory (free on the service clock); a miss
+        # occupies the worker's allocation for the replay's makespan.
+        return 0.0 if hit else sched.makespan
+
+    def _job_done(self, job: Job) -> None:
+        job.finish_t = self.engine.now
+        if job.state is JobState.RUNNING:
+            job.state = JobState.DONE
+        self.quota.release(job.tenant, job.demand)
+        metrics = get_tracer().metrics
+        served = self.cache_hits + self.cache_misses
+        if served:
+            metrics.gauge("service.cache_hit_rate").set(
+                self.cache_hits / served)
+        if job.result is not None and job.result.shard_balance is not None:
+            for load in job.result.shard_balance.loads:
+                metrics.gauge(f"service.shard.{load.shard}.tasks").set(
+                    float(load.tasks))
+                metrics.gauge(f"service.shard.{load.shard}.bytes").set(
+                    float(load.bytes))
+        if self.jobs_store is not None:
+            self.jobs_store.append(RunRecord.new(
+                source=JOBS_SOURCE,
+                metrics={
+                    "service.queue_wait_s": job.queue_wait or 0.0,
+                    "service.makespan_s": (job.result.makespan
+                                           if job.result else 0.0),
+                },
+                meta=job.to_dict()))
+        self._pump()
+
+    # -- draining ------------------------------------------------------------
+
+    def run(self) -> ServiceReport:
+        """Drain the service: run until no runnable work remains."""
+        self.engine.run()
+        return self.report()
+
+    def run_batch(self, specs: list[JobSpec]) -> ServiceReport:
+        for spec in specs:
+            self.submit(spec)
+        return self.run()
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self) -> ServiceReport:
+        tenants: dict[str, TenantReport] = {}
+        balances: list[ShardBalanceReport] = []
+        for job in self.jobs:
+            rep = tenants.setdefault(job.tenant,
+                                     TenantReport(tenant=job.tenant))
+            rep.submitted += 1
+            rep.held_events += job.held
+            if job.state is JobState.DONE:
+                rep.done += 1
+                rep.cache_hits += int(job.cache_hit)
+                wait = job.queue_wait or 0.0
+                rep.total_queue_wait += wait
+                rep.max_queue_wait = max(rep.max_queue_wait, wait)
+                if job.result is not None:
+                    rep.makespan_total += job.result.makespan
+                    rep.bytes_pulled += sum(r.bytes_pulled
+                                            for r in job.result.results)
+                    if job.result.shard_balance is not None:
+                        balances.append(job.result.shard_balance)
+            elif job.state is JobState.FAILED:
+                rep.failed += 1
+            else:
+                rep.queued += 1
+        return ServiceReport(
+            tenants=tenants,
+            jobs=list(self.jobs),
+            duration=self.engine.now,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            held_events=sum(job.held for job in self.jobs),
+            shard_balance=(ShardBalanceReport.merge(balances)
+                           if balances else None),
+            quotas={**self.quota.quotas, "*": self.quota.default},
+        )

@@ -1,0 +1,162 @@
+"""Per-tenant resource quotas with admission control.
+
+"Towards In-transit Analysis on Supercomputing Environments" frames
+in-transit staging as a shared service with admission control; this
+module supplies it. A :class:`TenantQuota` bounds three resources:
+
+* ``max_concurrent`` — jobs a tenant may have running at once;
+* ``staging_bytes`` — total bytes of staging memory the tenant's running
+  jobs may pin (demand estimated with
+  :meth:`~repro.core.runner.ScaledExperiment.staging_memory_needed`);
+* ``max_cores`` — total machine cores the tenant's running jobs may hold.
+
+:class:`QuotaManager` answers admission checks with a :class:`Denial`
+(or None to admit). A denial is *transient* when the tenant is merely
+over quota right now — the job stays queued and fair-share scheduling
+holds it until a running job releases resources — and *permanent* when
+the job alone exceeds the tenant's absolute budget (it could never run,
+and holding it would deadlock the drain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class JobDemand:
+    """Resources one job pins while running."""
+
+    staging_bytes: int = 0
+    cores: int = 0
+
+
+@dataclass(frozen=True)
+class Denial:
+    """An admission refusal; ``permanent`` means never admissible."""
+
+    reason: str
+    permanent: bool = False
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Resource budget for one tenant (``"*"`` = the default tenant)."""
+
+    tenant: str
+    max_concurrent: int = 2
+    staging_bytes: int | None = None
+    max_cores: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ValueError("tenant must be non-empty")
+        if self.max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be >= 1, got {self.max_concurrent}")
+        if self.staging_bytes is not None and self.staging_bytes <= 0:
+            raise ValueError(
+                f"staging_bytes must be > 0, got {self.staging_bytes}")
+        if self.max_cores is not None and self.max_cores <= 0:
+            raise ValueError(f"max_cores must be > 0, got {self.max_cores}")
+
+    def to_dict(self) -> dict:
+        return {"tenant": self.tenant, "max_concurrent": self.max_concurrent,
+                "staging_bytes": self.staging_bytes,
+                "max_cores": self.max_cores}
+
+
+@dataclass
+class TenantUsage:
+    """Resources a tenant's running jobs currently pin."""
+
+    running: int = 0
+    staging_bytes: int = 0
+    cores: int = 0
+
+
+class QuotaManager:
+    """Admission control + usage ledger over per-tenant quotas."""
+
+    def __init__(self, quotas: list[TenantQuota] | None = None,
+                 default: TenantQuota | None = None) -> None:
+        self.quotas: dict[str, TenantQuota] = {}
+        for q in quotas or []:
+            if q.tenant == "*":
+                default = q
+            else:
+                self.quotas[q.tenant] = q
+        self.default = default or TenantQuota("*", max_concurrent=2)
+        self._usage: dict[str, TenantUsage] = {}
+        #: (tenant, reason) admission refusals, in check order.
+        self.denials: list[tuple[str, str]] = []
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default)
+
+    def usage(self, tenant: str) -> TenantUsage:
+        return self._usage.setdefault(tenant, TenantUsage())
+
+    def set_quota(self, quota: TenantQuota) -> None:
+        if quota.tenant == "*":
+            self.default = quota
+        else:
+            self.quotas[quota.tenant] = quota
+
+    # -- admission -----------------------------------------------------------
+
+    def check(self, tenant: str, demand: JobDemand) -> Denial | None:
+        """None to admit ``demand`` for ``tenant`` now, else a Denial."""
+        quota = self.quota_for(tenant)
+        denial = self._check(quota, self.usage(tenant), demand)
+        if denial is not None:
+            self.denials.append((tenant, denial.reason))
+        return denial
+
+    @staticmethod
+    def _check(quota: TenantQuota, usage: TenantUsage,
+               demand: JobDemand) -> Denial | None:
+        # Absolute-budget violations first: these can never clear.
+        if (quota.staging_bytes is not None
+                and demand.staging_bytes > quota.staging_bytes):
+            return Denial(
+                f"job needs {demand.staging_bytes} staging bytes, over the "
+                f"tenant budget of {quota.staging_bytes}", permanent=True)
+        if quota.max_cores is not None and demand.cores > quota.max_cores:
+            return Denial(
+                f"job needs {demand.cores} cores, over the tenant budget "
+                f"of {quota.max_cores}", permanent=True)
+        if usage.running + 1 > quota.max_concurrent:
+            return Denial(
+                f"{usage.running}/{quota.max_concurrent} concurrent jobs "
+                f"in use")
+        if (quota.staging_bytes is not None
+                and usage.staging_bytes + demand.staging_bytes
+                > quota.staging_bytes):
+            return Denial(
+                f"staging budget exhausted "
+                f"({usage.staging_bytes}/{quota.staging_bytes} bytes in use, "
+                f"job needs {demand.staging_bytes})")
+        if (quota.max_cores is not None
+                and usage.cores + demand.cores > quota.max_cores):
+            return Denial(
+                f"core budget exhausted ({usage.cores}/{quota.max_cores} "
+                f"in use, job needs {demand.cores})")
+        return None
+
+    # -- ledger --------------------------------------------------------------
+
+    def acquire(self, tenant: str, demand: JobDemand) -> None:
+        usage = self.usage(tenant)
+        usage.running += 1
+        usage.staging_bytes += demand.staging_bytes
+        usage.cores += demand.cores
+
+    def release(self, tenant: str, demand: JobDemand) -> None:
+        usage = self.usage(tenant)
+        if usage.running < 1:
+            raise RuntimeError(
+                f"release without acquire for tenant {tenant!r}")
+        usage.running -= 1
+        usage.staging_bytes -= demand.staging_bytes
+        usage.cores -= demand.cores

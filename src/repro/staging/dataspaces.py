@@ -88,7 +88,8 @@ class DataSpaces:
                  lease_timeout: float | None = None,
                  bucket_restart_delay: float | None = None,
                  max_bucket_restarts: int = 0,
-                 insitu_fallback: bool = True) -> None:
+                 insitu_fallback: bool = True,
+                 name: str | None = None) -> None:
         if n_servers < 1:
             raise ValueError(f"n_servers must be >= 1, got {n_servers}")
         if max_bucket_restarts < 0:
@@ -99,7 +100,12 @@ class DataSpaces:
         self.ring = ServiceRing(n_servers)
         self.cost_model = cost_model
         self.rpc_latency = rpc_latency
-        self.scheduler = TaskScheduler(engine, lease_timeout=lease_timeout)
+        #: Optional instance identity; sharded staging names each shard so
+        #: per-shard scheduler events stay separable in trace exports.
+        self.name = name
+        self.scheduler = TaskScheduler(
+            engine, lease_timeout=lease_timeout,
+            lane=f"scheduler[{name}]" if name else "scheduler")
         self.buckets: list[StagingBucket] = []
         self._store: dict[tuple[str, int], list[_StoredObject]] = {}
         self._task_ids = itertools.count()
@@ -238,6 +244,15 @@ class DataSpaces:
         for v in doomed:
             del self._store[(name, v)]
         return len(doomed)
+
+    def drop_version(self, name: str, version: int) -> bool:
+        """Drop one exact ``(name, version)`` entry; True if it existed.
+
+        Sharded staging spreads versions of a name across shards, so its
+        global GC decides which versions die and revokes each from the
+        shard that owns it.
+        """
+        return self._store.pop((name, version), None) is not None
 
     # -- workflow: in-situ side ------------------------------------------------
 

@@ -59,3 +59,30 @@ class ServiceRing:
         for k in keys:
             counts[self.server_for(k)] += 1
         return counts
+
+    def imbalance(self, keys: list[str]) -> float:
+        """Max-over-mean load ratio for ``keys`` (1.0 = perfectly even).
+
+        The service layer's shard-balance report uses this figure: with
+        enough virtual nodes the ratio stays bounded (a few tens of
+        percent), which is what makes DHT routing a load balancer and not
+        just a partitioner.
+        """
+        if not keys:
+            return 1.0
+        counts = self.load_histogram(keys)
+        mean = len(keys) / self.n_servers
+        return max(counts) / mean
+
+    def moved_fraction(self, keys: list[str], other: "ServiceRing") -> float:
+        """Fraction of ``keys`` whose assignment differs under ``other``.
+
+        Consistent hashing's scaling contract: growing an *N*-shard ring
+        to *N+1* (or shrinking to *N-1*) relocates only ~1/(N+1) (resp.
+        ~1/N) of the keys, because virtual-node points are hashed per
+        server and survive resizing unchanged.
+        """
+        if not keys:
+            return 0.0
+        moved = sum(1 for k in keys if self.server_for(k) != other.server_for(k))
+        return moved / len(keys)

@@ -56,12 +56,17 @@ class TaskScheduler:
     """FCFS matching of tasks to buckets over the DES engine."""
 
     def __init__(self, engine: Engine,
-                 lease_timeout: float | None = None) -> None:
+                 lease_timeout: float | None = None,
+                 lane: str = "scheduler") -> None:
         if lease_timeout is not None and lease_timeout <= 0:
             raise ValueError(
                 f"lease_timeout must be > 0 or None, got {lease_timeout}")
         self.engine = engine
         self.lease_timeout = lease_timeout
+        #: Trace lane for this scheduler's instants and flow hops. Sharded
+        #: staging (one scheduler per shard) sets a distinct lane per
+        #: shard so their event streams stay separable in exports.
+        self.lane = lane
         self._task_queue: deque[tuple[TaskDescriptor, float]] = deque()
         self._free_buckets: deque[tuple[str, EventHandle, float]] = deque()
         self.assignments: list[AssignmentRecord] = []
@@ -84,14 +89,14 @@ class TaskScheduler:
         now = self.engine.now
         if self._tracer.enabled:
             self._tracer.counter("sched.data_ready")
-            self._tracer.instant("sched.data_ready", lane="scheduler",
+            self._tracer.instant("sched.data_ready", lane=self.lane,
                                  task_id=task.task_id, analysis=task.analysis,
                                  step=task.timestep)
         if task.flow is not None:
             # A re-submitted task arrives via a retry, not a fresh notify.
             self._tracer.flow_step(task.flow,
                                    EDGE_RETRY if task.attempts else EDGE_NOTIFY,
-                                   "scheduler", t=now)
+                                   self.lane, t=now)
         if self.task_sink is not None:
             self.task_sink(task)
             self._sample()
@@ -113,7 +118,7 @@ class TaskScheduler:
         now = self.engine.now
         if self._tracer.enabled:
             self._tracer.counter("sched.bucket_ready")
-            self._tracer.instant("sched.bucket_ready", lane="scheduler",
+            self._tracer.instant("sched.bucket_ready", lane=self.lane,
                                  bucket=bucket)
         if self._task_queue:
             task, ready_t = self._task_queue.popleft()
@@ -132,13 +137,13 @@ class TaskScheduler:
         ))
         if self._tracer.enabled:
             self._tracer.counter("sched.assign")
-            self._tracer.instant("sched.assign", lane="scheduler",
+            self._tracer.instant("sched.assign", lane=self.lane,
                                  task_id=task.task_id, bucket=bucket,
                                  queue_wait=self.engine.now - data_t)
             self._tracer.metrics.histogram("sched.queue_wait").observe(
                 self.engine.now - data_t)
         if task.flow is not None:
-            self._tracer.flow_step(task.flow, EDGE_QUEUE, "scheduler",
+            self._tracer.flow_step(task.flow, EDGE_QUEUE, self.lane,
                                    bucket=bucket)
         ev.succeed(task)
         if (self.lease_timeout is not None
@@ -163,7 +168,7 @@ class TaskScheduler:
                 if self._tracer.enabled:
                     self._tracer.counter("sched.lease_reassign")
                     self._tracer.instant("sched.lease_reassign",
-                                         lane="scheduler",
+                                         lane=self.lane,
                                          task_id=task.task_id, bucket=bucket)
                     self._tracer.metrics.histogram(
                         "sched.lease_detect_delay").observe(
@@ -173,7 +178,7 @@ class TaskScheduler:
                     # retry cost; the follow-on data_ready hop lands at
                     # the same instant and so charges nothing extra.
                     self._tracer.flow_step(task.flow, EDGE_RETRY,
-                                           "scheduler",
+                                           self.lane,
                                            reason="lease_expired",
                                            bucket=bucket)
                 self.data_ready(task)
@@ -197,7 +202,7 @@ class TaskScheduler:
         self._dead_buckets.add(bucket)
         if self._tracer.enabled:
             self._tracer.counter("sched.bucket_dead")
-            self._tracer.instant("sched.bucket_dead", lane="scheduler",
+            self._tracer.instant("sched.bucket_dead", lane=self.lane,
                                  bucket=bucket)
 
     def steal_queue(self) -> list[TaskDescriptor]:

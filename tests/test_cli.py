@@ -168,3 +168,130 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "bucket occupancy" in out
         assert "in-transit activity" in out
+
+    def test_blame_default_output_lands_under_out_dir(self, tmp_path,
+                                                      monkeypatch, capsys):
+        """The default blame JSON must land under --out-dir, never the
+        process CWD (regression lock for the artifact-scatter bug)."""
+        monkeypatch.chdir(tmp_path)
+        rc = main(["blame", "--steps", "2", "--buckets", "2",
+                   "--out-dir", "artifacts"])
+        assert rc == 0
+        assert (tmp_path / "artifacts" / "repro_blame.json").exists()
+        assert not (tmp_path / "repro_blame.json").exists()
+
+
+class TestServiceCli:
+    def _submit(self, jobs, tenant, name, steps, **extra):
+        argv = ["submit", "--jobs", str(jobs), "--tenant", tenant,
+                "--name", name, "--steps", str(steps), "--buckets", "4"]
+        for flag, value in extra.items():
+            argv += [f"--{flag}", str(value)]
+        assert main(argv) == 0
+
+    def test_submit_appends_valid_jsonl(self, tmp_path, capsys):
+        import json
+
+        jobs = tmp_path / "batch.jsonl"
+        self._submit(jobs, "alpha", "a1", 3)
+        self._submit(jobs, "beta", "b1", 2, shards=2)
+        lines = [json.loads(x) for x in jobs.read_text().splitlines()]
+        assert [x["tenant"] for x in lines] == ["alpha", "beta"]
+        assert lines[1]["n_shards"] == 2
+        assert "queued beta/b1" in capsys.readouterr().out
+
+    def test_submit_rejects_invalid_spec(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["submit", "--jobs", str(tmp_path / "b.jsonl"),
+                  "--tenant", "a", "--name", "x", "--steps", "0"])
+
+    def test_serve_batch_quota_and_cache(self, tmp_path, capsys):
+        import json
+
+        jobs = tmp_path / "batch.jsonl"
+        # Distinct specs per tenant so gamma's jobs cannot ride another
+        # tenant's cache entry and must really contend for its quota.
+        self._submit(jobs, "alpha", "a1", 2)
+        self._submit(jobs, "alpha", "a2", 3)
+        self._submit(jobs, "beta", "b1", 4, shards=2)
+        self._submit(jobs, "beta", "b2", 5, shards=2)
+        self._submit(jobs, "gamma", "g1", 6)
+        self._submit(jobs, "gamma", "g2", 7)
+        capsys.readouterr()
+
+        rc = main(["serve", "--jobs", str(jobs), "--workers", "3",
+                   "--quota", "gamma=1", "--expect-quota-held",
+                   "--out-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "quota hold(s)" in out
+        assert "shard balance" in out
+        report = json.loads((tmp_path / "service_report.json").read_text())
+        assert report["all_done"] is True
+        assert report["held_events"] > 0
+        assert report["cache_hit_rate"] == 0.0
+        assert set(report["tenants"]) == {"alpha", "beta", "gamma"}
+        gamma_jobs = [j for j in report["jobs"] if j["tenant"] == "gamma"]
+        held = [j for j in gamma_jobs if j["held"] > 0]
+        assert held  # over-quota job was queued, not run
+
+        # Resubmitting the identical batch over the same state dir hits
+        # the schedule cache for every job.
+        rc = main(["serve", "--jobs", str(jobs), "--workers", "3",
+                   "--quota", "gamma=1", "--min-cache-hit-rate", "1.0",
+                   "--out-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "hit rate 100%" in out
+
+    def test_serve_fails_below_min_hit_rate(self, tmp_path, capsys):
+        jobs = tmp_path / "batch.jsonl"
+        self._submit(jobs, "a", "cold", 2)
+        rc = main(["serve", "--jobs", str(jobs),
+                   "--min-cache-hit-rate", "1.0",
+                   "--out-dir", str(tmp_path)])
+        assert rc == 1
+        assert "CACHE MISS RATE TOO HIGH" in capsys.readouterr().out
+
+    def test_serve_quota_lines_in_batch_file(self, tmp_path, capsys):
+        import json
+
+        jobs = tmp_path / "batch.jsonl"
+        with open(jobs, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"quota": {"tenant": "a",
+                                           "max_concurrent": 1}}) + "\n")
+            fh.write(json.dumps({"tenant": "a", "name": "j1",
+                                 "n_steps": 2, "n_buckets": 3}) + "\n")
+            fh.write(json.dumps({"tenant": "a", "name": "j2",
+                                 "n_steps": 3, "n_buckets": 3}) + "\n")
+        rc = main(["serve", "--jobs", str(jobs), "--workers", "2",
+                   "--expect-quota-held", "--out-dir", str(tmp_path)])
+        assert rc == 0, capsys.readouterr().out
+
+    def test_serve_rejects_bad_batch(self, tmp_path):
+        jobs = tmp_path / "bad.jsonl"
+        jobs.write_text('{"tenant": "a"}\n')
+        with pytest.raises(SystemExit, match="name"):
+            main(["serve", "--jobs", str(jobs)])
+        with pytest.raises(SystemExit, match="no such batch"):
+            main(["serve", "--jobs", str(tmp_path / "missing.jsonl")])
+
+    def test_jobs_lists_records(self, tmp_path, capsys):
+        jobs = tmp_path / "batch.jsonl"
+        self._submit(jobs, "alpha", "a1", 2)
+        self._submit(jobs, "beta", "b1", 3)
+        assert main(["serve", "--jobs", str(jobs),
+                     "--out-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        rc = main(["jobs", "--out-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "alpha/a1" in out and "beta/b1" in out
+        rc = main(["jobs", "--out-dir", str(tmp_path),
+                   "--tenant", "alpha", "--limit", "5"])
+        out = capsys.readouterr().out
+        assert "alpha/a1" in out and "beta/b1" not in out
+
+    def test_jobs_empty_store(self, tmp_path, capsys):
+        assert main(["jobs", "--out-dir", str(tmp_path)]) == 0
+        assert "no job records" in capsys.readouterr().out

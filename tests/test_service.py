@@ -1,0 +1,426 @@
+"""The multi-tenant campaign service: queue, quota, shards, cache, API."""
+
+import pytest
+
+from repro.core.runner import ExperimentConfig, ScaledExperiment
+from repro.core.workload import AnalyticsVariant
+from repro.des import Engine
+from repro.machine.specs import jaguar_xk6
+from repro.obs.perf import RunStore
+from repro.service import (
+    CampaignService,
+    Job,
+    JobQueue,
+    JobSpec,
+    JobState,
+    QuotaManager,
+    ScheduleCache,
+    ShardedDataSpaces,
+    TenantQuota,
+    schedule_cache_key,
+)
+from repro.service.cache import schedule_from_dict, schedule_to_dict
+from repro.service.quota import JobDemand
+
+
+def _spec(**kw):
+    base = dict(tenant="t", name="j", n_steps=2, n_buckets=3)
+    base.update(kw)
+    return JobSpec(**base)
+
+
+def _serial(spec):
+    return ScaledExperiment(spec.experiment_config()).run_schedule(
+        n_steps=spec.n_steps, analyses=spec.variants(),
+        n_buckets=spec.n_buckets, analysis_interval=spec.analysis_interval,
+        n_shards=spec.n_shards)
+
+
+class TestJobSpec:
+    def test_round_trip(self):
+        spec = _spec(n_shards=2, n_buckets=4, analyses=("VIS_HYBRID",))
+        again = JobSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown job fields"):
+            JobSpec.from_dict({**_spec().to_dict(), "bogus": 1})
+
+    @pytest.mark.parametrize("kw", [
+        dict(tenant=""),
+        dict(config="paper_1"),
+        dict(n_steps=0),
+        dict(n_buckets=0),
+        dict(analysis_interval=0),
+        dict(n_shards=0),
+        dict(n_shards=4, n_buckets=3),   # fewer buckets than shards
+        dict(analyses=("NOPE",)),
+        dict(analyses=()),
+        dict(submit_at=-1.0),
+    ])
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            _spec(**kw)
+
+    def test_variants_resolve(self):
+        spec = _spec(analyses=("TOPO_HYBRID", "STATS_HYBRID"))
+        assert spec.variants() == (AnalyticsVariant.TOPO_HYBRID,
+                                   AnalyticsVariant.STATS_HYBRID)
+
+
+class TestJobQueue:
+    def _job(self, tenant, name):
+        return Job(spec=_spec(tenant=tenant, name=name),
+                   job_id=f"{tenant}/{name}")
+
+    def test_fair_share_round_robin(self):
+        """A flooding tenant only queues behind itself."""
+        q = JobQueue()
+        for i in range(3):
+            q.push(self._job("hog", f"h{i}"))
+        q.push(self._job("small", "s0"))
+        order = [q.pop_runnable(lambda job: None).job_id for _ in range(4)]
+        # The hog gets the first slot (FIFO arrival), then service
+        # alternates, so `small` is not starved behind the hog's backlog.
+        assert order.index("small/s0") <= 1
+        assert q.pop_runnable(lambda job: None) is None
+
+    def test_transient_denial_holds_job(self):
+        from repro.service.quota import Denial
+
+        q = JobQueue()
+        q.push(self._job("a", "j0"))
+        assert q.pop_runnable(lambda job: Denial("over quota")) is None
+        job = q.pending()[0]
+        assert job.held == 1
+        assert job.held_reasons == ["over quota"]
+        assert q.pop_runnable(lambda job: None) is job
+
+    def test_permanent_denial_fails_job_and_advances(self):
+        from repro.service.quota import Denial
+
+        q = JobQueue()
+        doomed = self._job("a", "big")
+        ok = self._job("a", "ok")
+        q.push(doomed)
+        q.push(ok)
+
+        def admit(job):
+            if job is doomed:
+                return Denial("too big", permanent=True)
+            return None
+
+        assert q.pop_runnable(admit) is ok
+        assert doomed.state is JobState.FAILED
+        assert doomed.error == "too big"
+
+
+class TestQuota:
+    def test_concurrency_budget(self):
+        qm = QuotaManager([TenantQuota("a", max_concurrent=1)])
+        demand = JobDemand()
+        assert qm.check("a", demand) is None
+        qm.acquire("a", demand)
+        denial = qm.check("a", demand)
+        assert denial is not None and not denial.permanent
+        qm.release("a", demand)
+        assert qm.check("a", demand) is None
+
+    def test_staging_bytes_budget(self):
+        qm = QuotaManager([TenantQuota("a", staging_bytes=100,
+                                       max_concurrent=8)])
+        qm.acquire("a", JobDemand(staging_bytes=70))
+        denial = qm.check("a", JobDemand(staging_bytes=40))
+        assert denial is not None and not denial.permanent
+
+    def test_unsatisfiable_demand_is_permanent(self):
+        qm = QuotaManager([TenantQuota("a", staging_bytes=100)])
+        denial = qm.check("a", JobDemand(staging_bytes=101))
+        assert denial is not None and denial.permanent
+        denial = qm.check("a", JobDemand(cores=10**9))
+        assert denial is None  # no core budget set
+        qm2 = QuotaManager([TenantQuota("a", max_cores=8)])
+        assert qm2.check("a", JobDemand(cores=9)).permanent
+
+    def test_default_quota_applies_to_unknown_tenants(self):
+        qm = QuotaManager(default=TenantQuota("*", max_concurrent=1))
+        qm.acquire("anyone", JobDemand())
+        assert qm.check("anyone", JobDemand()) is not None
+
+    def test_release_without_acquire_raises(self):
+        with pytest.raises(RuntimeError):
+            QuotaManager().release("a", JobDemand())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantQuota("a", max_concurrent=0)
+        with pytest.raises(ValueError):
+            TenantQuota("a", staging_bytes=0)
+
+
+class TestShardedDataSpaces:
+    def _make(self, n_shards=2, **kw):
+        engine = Engine()
+        sds = ShardedDataSpaces(engine, jaguar_xk6().network,
+                                n_shards=n_shards, **kw)
+        return engine, sds
+
+    def test_tuple_space_routing_round_trip(self):
+        engine, sds = self._make(3)
+        for v in range(9):
+            sds.put("field", v, {"v": v})
+        assert sds.versions("field") == list(range(9))
+        for v in range(9):
+            assert sds.get("field", v) == {"v": v}
+        assert [v for v, _ in sds.query("field", 2, 5)] == [2, 3, 4, 5]
+        # versions really spread over more than one shard
+        owners = {sds.shard_for(f"field@{v}") for v in range(9)}
+        assert len(owners) > 1
+
+    def test_global_gc_drops_oldest_versions(self):
+        engine, sds = self._make(3)
+        for v in range(10):
+            sds.put("field", v, v)
+        assert sds.gc_versions("field", keep_latest=3) == 7
+        assert sds.versions("field") == [7, 8, 9]
+
+    def test_spawn_requires_bucket_per_shard(self):
+        engine, sds = self._make(3)
+        with pytest.raises(ValueError, match="one bucket per shard"):
+            sds.spawn_buckets(["b0", "b1"])
+
+    def test_sharded_replay_matches_accounting(self):
+        exp = ScaledExperiment(ExperimentConfig.paper_4896())
+        sched = exp.run_schedule(n_steps=4, n_buckets=4, n_shards=2)
+        assert len(sched.results) == 4 * 3  # three hybrid variants per step
+        acc_results = sorted(r.task_id for r in sched.results)
+        assert len(set(acc_results)) == len(acc_results)
+        assert sched.shard_balance is not None
+        bal = sched.shard_balance
+        assert bal.n_shards == 2
+        assert sum(load.tasks for load in bal.loads) == 12
+        assert sum(load.buckets for load in bal.loads) == 4
+        assert bal.imbalance("tasks") >= 1.0
+
+    def test_sharded_replay_is_deterministic(self):
+        exp = ScaledExperiment(ExperimentConfig.paper_4896())
+        a = exp.run_schedule(n_steps=3, n_buckets=4, n_shards=2)
+        b = exp.run_schedule(n_steps=3, n_buckets=4, n_shards=2)
+        assert a.results == b.results
+        assert a.makespan == b.makespan
+
+    def test_single_shard_path_unchanged(self):
+        """n_shards=1 must go down the classic DataSpaces path."""
+        exp = ScaledExperiment(ExperimentConfig.paper_4896())
+        classic = exp.run_schedule(n_steps=3, n_buckets=4)
+        explicit = exp.run_schedule(n_steps=3, n_buckets=4, n_shards=1)
+        assert classic.results == explicit.results
+        assert explicit.shard_balance is None
+
+
+class TestScheduleCache:
+    def test_key_sensitivity(self):
+        spec = _spec()
+        machine = {"name": "m"}
+        base = schedule_cache_key(machine, spec.workload_dict(),
+                                  spec.placement_dict())
+        other = schedule_cache_key(machine,
+                                   _spec(n_steps=3).workload_dict(),
+                                   spec.placement_dict())
+        moved = schedule_cache_key(machine, spec.workload_dict(),
+                                   _spec(n_buckets=4).placement_dict())
+        assert base != other
+        assert base != moved
+        assert base == schedule_cache_key(machine, spec.workload_dict(),
+                                          spec.placement_dict())
+
+    def test_round_trip_is_exact(self):
+        exp = ScaledExperiment(ExperimentConfig.paper_4896())
+        sched = exp.run_schedule(n_steps=3, n_buckets=4, n_shards=2)
+        again = schedule_from_dict(schedule_to_dict(sched))
+        assert again.results == sched.results
+        assert again.makespan == sched.makespan
+        assert again.shard_balance.to_dict() == sched.shard_balance.to_dict()
+
+    def test_persistence_through_run_store(self, tmp_path):
+        exp = ScaledExperiment(ExperimentConfig.paper_4896())
+        sched = exp.run_schedule(n_steps=2, n_buckets=3)
+        cache = ScheduleCache(tmp_path / "cache")
+        cache.insert("k1", sched)
+        assert cache.lookup("missing") is None
+        hit = cache.lookup("k1")
+        assert hit.results == sched.results
+        assert cache.hits == 1 and cache.misses == 1
+
+        # A fresh cache over the same store warms up from disk, and the
+        # JSON round trip preserves every float exactly.
+        warm = ScheduleCache(tmp_path / "cache")
+        assert "k1" in warm
+        assert warm.lookup("k1").results == sched.results
+        assert warm.hit_rate == 1.0
+        # Cache records ride the RunStore contract.
+        recs = RunStore(tmp_path / "cache").records()
+        assert [r.source for r in recs] == ["schedule-cache"]
+
+
+class TestCampaignService:
+    BATCH = [
+        dict(tenant="alpha", name="a1", n_steps=3, n_buckets=4),
+        dict(tenant="alpha", name="a2", n_steps=2, n_buckets=3),
+        dict(tenant="beta", name="b1", n_steps=3, n_buckets=4, n_shards=2),
+        dict(tenant="beta", name="b2", n_steps=2, n_buckets=4, n_shards=2),
+        dict(tenant="gamma", name="g1", n_steps=3, n_buckets=5),
+        dict(tenant="gamma", name="g2", n_steps=2, n_buckets=5),
+    ]
+
+    def _batch(self):
+        return [JobSpec(**kw) for kw in self.BATCH]
+
+    def test_batch_quota_cache_and_bit_identity(self, tmp_path):
+        """The ISSUE acceptance scenario: 6 jobs, 3 tenants, quota held,
+        results bit-identical to serial replays, 100% cache hit rate on
+        resubmission."""
+        svc = CampaignService(
+            workers=3,
+            quotas=[TenantQuota("gamma", max_concurrent=1)],
+            cache=ScheduleCache(tmp_path / "cache"),
+            jobs_store=RunStore(tmp_path / "jobs"))
+        report = svc.run_batch(self._batch())
+
+        assert report.all_done
+        assert set(report.tenants) == {"alpha", "beta", "gamma"}
+        # Quota enforcement: gamma's second job was held (queued, not
+        # run) until its first finished.
+        g1, g2 = [j for j in svc.jobs if j.tenant == "gamma"]
+        assert g2.held > 0
+        assert g2.start_t >= g1.finish_t
+        assert report.held_events > 0
+        assert report.tenants["gamma"].held_events == g2.held
+
+        # Bit-identical to the same jobs run serially through
+        # ScaledExperiment (fresh engine per replay).
+        for job in svc.jobs:
+            serial = _serial(job.spec)
+            assert job.result.results == serial.results, job.job_id
+            assert job.result.makespan == serial.makespan
+
+        # Resubmitting the identical batch hits the cache for every job
+        # — and cached results stay bit-identical to serial ones.
+        svc2 = CampaignService(workers=3,
+                               cache=ScheduleCache(tmp_path / "cache"))
+        report2 = svc2.run_batch(self._batch())
+        assert report2.all_done
+        assert report2.cache_hit_rate == 1.0
+        assert all(j.cache_hit for j in svc2.jobs)
+        for job in svc2.jobs:
+            serial = _serial(job.spec)
+            assert job.result.results == serial.results, job.job_id
+        # Cache hits are free on the service clock.
+        assert report2.duration == 0.0
+
+        # Job records landed in the store.
+        recs = RunStore(tmp_path / "jobs").records()
+        assert len(recs) == 6
+        assert {r.meta["tenant"] for r in recs} == {"alpha", "beta", "gamma"}
+
+    def test_queue_wait_accounting(self):
+        """With one worker, job 2's queue wait equals job 1's makespan."""
+        svc = CampaignService(workers=1)
+        j1 = svc.submit(_spec(tenant="a", name="one", n_steps=2))
+        j2 = svc.submit(_spec(tenant="a", name="two", n_steps=3))
+        svc.run()
+        assert j1.queue_wait == 0.0
+        assert j2.queue_wait == pytest.approx(j1.result.makespan)
+        assert j2.start_t == j1.finish_t
+
+    def test_unsatisfiable_job_fails_without_deadlock(self):
+        svc = CampaignService(
+            workers=1, quotas=[TenantQuota("a", staging_bytes=1,
+                                           max_concurrent=4)])
+        doomed = svc.submit(_spec(tenant="a", name="big", n_steps=2))
+        ok = svc.submit(_spec(tenant="b", name="fine", n_steps=2))
+        report = svc.run()
+        assert doomed.state is JobState.FAILED
+        assert "staging bytes" in doomed.error
+        assert ok.state is JobState.DONE
+        assert report.tenants["a"].failed == 1
+
+    def test_failing_job_is_contained(self):
+        """A job that blows up mid-execute fails alone; the worker and
+        the rest of the batch keep going."""
+        svc = CampaignService(workers=1)
+        bad = svc.submit(_spec(tenant="a", name="bad", n_steps=2))
+        good = svc.submit(_spec(tenant="a", name="good", n_steps=2,
+                                n_buckets=4))
+
+        original = svc.executor.execute
+
+        def explode(spec):
+            if spec.name == "bad":
+                raise RuntimeError("boom")
+            return original(spec)
+
+        svc.executor.execute = explode
+        report = svc.run()
+        assert bad.state is JobState.FAILED
+        assert "boom" in bad.error
+        assert good.state is JobState.DONE
+        assert not report.all_done
+
+    def test_submit_at_staggers_arrivals(self):
+        svc = CampaignService(workers=2)
+        early = svc.submit(_spec(tenant="a", name="early", n_steps=2))
+        late = svc.submit(_spec(tenant="a", name="late", n_steps=2,
+                                n_buckets=4, submit_at=50.0))
+        svc.run()
+        assert early.submit_t == 0.0
+        assert late.submit_t == 50.0
+        assert late.start_t >= 50.0
+
+    def test_report_serializes(self, tmp_path):
+        import json
+
+        svc = CampaignService(workers=2)
+        report = svc.run_batch([_spec(tenant="a", name="j", n_steps=2,
+                                      n_shards=2, n_buckets=4)])
+        blob = json.dumps(report.to_dict())
+        parsed = json.loads(blob)
+        assert parsed["all_done"] is True
+        assert parsed["jobs"][0]["spec"]["tenant"] == "a"
+        assert parsed["shard_balance"]["n_shards"] == 2
+        assert "a" not in parsed["quotas"]  # only explicit + default
+        assert parsed["quotas"]["*"]["max_concurrent"] == 2
+        assert "tenant" in report.table()
+
+
+class TestServiceMetrics:
+    def test_service_metrics_flow_through_registry(self):
+        from repro.obs.tracer import tracing
+
+        with tracing() as tracer:
+            svc = CampaignService(
+                workers=2, quotas=[TenantQuota("a", max_concurrent=1)])
+            svc.run_batch([
+                _spec(tenant="a", name="one", n_steps=2),
+                _spec(tenant="a", name="two", n_steps=3),
+                _spec(tenant="b", name="sharded", n_steps=2, n_buckets=4,
+                      n_shards=2),
+            ])
+        snap = tracer.metrics.snapshot()
+        waits = snap["histograms"]["service.queue_wait_s"]
+        assert waits["count"] == 3
+        assert waits["max"] > 0.0
+        assert snap["gauges"]["service.cache_hit_rate"]["last"] == 0.0
+        assert snap["gauges"]["service.shard.0.tasks"]["last"] > 0
+        assert snap["gauges"]["service.shard.1.tasks"]["last"] > 0
+        assert snap["counters"]["service.cache_misses"] == 3.0
+
+    def test_perf_record_captures_service_metrics(self):
+        from repro.obs.perf import collect_run_record
+
+        rec = collect_run_record(n_steps=2, n_buckets=3)
+        assert rec.metrics["service.jobs_done"] == 4.0
+        assert rec.metrics["service.cache_hit_rate"] == 0.5
+        assert rec.metrics["service.held_events"] >= 1.0
+        assert rec.metrics["service.queue_wait_max_s"] > 0.0
+        assert any(k.startswith("service.shard.") for k in rec.metrics)

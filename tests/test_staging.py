@@ -45,6 +45,51 @@ class TestServiceRing:
         for i in range(50):
             assert a.server_for(f"k{i}") == b.server_for(f"k{i}")
 
+    def test_load_histogram_counts_every_key(self):
+        ring = ServiceRing(6, virtual_nodes=64)
+        keys = [f"task-{i}" for i in range(1234)]
+        hist = ring.load_histogram(keys)
+        assert len(hist) == 6
+        assert sum(hist) == len(keys)
+
+    def test_rebalance_add_server_moves_about_one_over_n(self):
+        """Growing an N-ring to N+1 relocates ~1/(N+1) of the keys, and
+        every relocated key lands on the *new* server — existing servers'
+        virtual-node points survive resizing unchanged."""
+        keys = [f"region-{i}" for i in range(4000)]
+        old = ServiceRing(4, virtual_nodes=128)
+        new = ServiceRing(5, virtual_nodes=128)
+        frac = old.moved_fraction(keys, new)
+        assert 0.5 / 5 < frac < 2.0 / 5
+        for k in keys:
+            if old.server_for(k) != new.server_for(k):
+                assert new.server_for(k) == 4
+
+    def test_rebalance_remove_server_moves_exactly_its_keys(self):
+        """Shrinking N -> N-1 moves exactly the removed server's keys
+        (≈ 1/N of them); everyone else's assignment is untouched."""
+        keys = [f"region-{i}" for i in range(4000)]
+        old = ServiceRing(4, virtual_nodes=128)
+        new = ServiceRing(3, virtual_nodes=128)
+        hist = old.load_histogram(keys)
+        assert old.moved_fraction(keys, new) == hist[3] / len(keys)
+        for k in keys:
+            if old.server_for(k) != 3:
+                assert new.server_for(k) == old.server_for(k)
+
+    def test_imbalance_bounded(self):
+        keys = [f"region-{i}" for i in range(4000)]
+        assert ServiceRing(8, virtual_nodes=256).imbalance(keys) < 1.35
+        assert ServiceRing(4, virtual_nodes=128).imbalance(keys) < 1.35
+        assert ServiceRing(1).imbalance(keys) == 1.0
+        assert ServiceRing(4).imbalance([]) == 1.0
+
+    def test_moved_fraction_identical_rings(self):
+        keys = [f"k{i}" for i in range(100)]
+        ring = ServiceRing(4)
+        assert ring.moved_fraction(keys, ServiceRing(4)) == 0.0
+        assert ring.moved_fraction([], ServiceRing(5)) == 0.0
+
 
 def _make_task(task_id="t0", **kw):
     return TaskDescriptor(task_id=task_id, analysis="test", timestep=0,
