@@ -409,6 +409,54 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_control(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.control import ControlPolicy, run_control_scenario
+    from repro.util import TextTable
+
+    policy = ControlPolicy(window=args.window,
+                           cooldown_windows=args.cooldown)
+    report = run_control_scenario(
+        n_steps=args.steps, n_buckets=args.buckets,
+        analysis_interval=args.interval, seed=args.seed,
+        crash_times=tuple(args.crash_times),
+        pull_stall_rate=args.stall_rate,
+        pull_stall_seconds=args.stall_seconds,
+        lease_timeout=args.lease_timeout,
+        policy=policy)
+    ctrl = report.controller
+    table = TextTable(["run", "makespan (s)", "max queue wait (s)",
+                       "decisions", "final pool"])
+    table.add_row(["static", f"{report.static_makespan:.4f}",
+                   f"{report.static_max_queue_wait:.4f}",
+                   0, args.buckets])
+    table.add_row(["adaptive", f"{report.adaptive_makespan:.4f}",
+                   f"{report.adaptive_max_queue_wait:.4f}",
+                   len(ctrl.decisions), ctrl.pool_trajectory[-1][1]])
+    print(f"fault plan: crashes at {list(args.crash_times)} s, "
+          f"{100 * args.stall_rate:.0f}% pulls stall "
+          f"{args.stall_seconds:.1f} s (seed {args.seed})")
+    print(table)
+    print(f"speedup: {report.speedup:.2f}x "
+          f"(memory-bounded pool cap: {ctrl.max_buckets} buckets)")
+    if ctrl.decisions:
+        print("\ndecision log:")
+        for d in ctrl.decisions:
+            print(f"  [w{d.window} t={d.t:.2f}s] {d.kind}: {d.subject} "
+                  f"{d.before} -> {d.after}  ({d.reason})")
+    else:
+        print("\nno decisions taken (healthy run)")
+    out = _resolve_out(args.json, args.out_dir, "repro_control.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report.summary(), fh, indent=2, sort_keys=True)
+    print(f"\nwrote {out}")
+    if args.gate and not report.improved:
+        print("control gate FAILED: adaptive makespan exceeds static")
+        return 1
+    return 0
+
+
 def _parse_kv_floats(pairs: list[str], option: str) -> dict[str, float]:
     """``["a=1.5", "b=0"] -> {"a": 1.5, "b": 0.0}`` with a clear error."""
     out: dict[str, float] = {}
@@ -775,6 +823,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--horizon", type=float, default=0.06,
                    help="crash sampling horizon (simulated seconds)")
 
+    p = sub.add_parser("control", help="adaptive in-situ/in-transit "
+                                       "controller vs static split under "
+                                       "injected faults")
+    p.add_argument("--steps", type=int, default=12)
+    p.add_argument("--buckets", type=int, default=4)
+    p.add_argument("--interval", type=int, default=1,
+                   help="analysis interval (steps between analysed steps)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-injection seed (decision log is "
+                        "deterministic per seed)")
+    p.add_argument("--crash-times", type=float, nargs="*",
+                   default=[30.0, 55.0],
+                   help="bucket crash instants (simulated seconds)")
+    p.add_argument("--stall-rate", type=float, default=0.05,
+                   help="probability an RDMA pull stalls")
+    p.add_argument("--stall-seconds", type=float, default=2.0,
+                   help="seconds each stalled pull loses")
+    p.add_argument("--lease-timeout", type=float, default=5.0,
+                   help="scheduler lease timeout for crash recovery")
+    p.add_argument("--window", type=int, default=2,
+                   help="analysed steps per control decision window")
+    p.add_argument("--cooldown", type=int, default=2,
+                   help="cooldown windows between same-actuator decisions")
+    p.add_argument("--out-dir", default="repro_out",
+                   help="artifact directory (default: repro_out/)")
+    p.add_argument("--json", default=None,
+                   help="decision-log artifact path "
+                        "(default: <out-dir>/repro_control.json)")
+    p.add_argument("--gate", action="store_true",
+                   help="exit 1 unless the adaptive makespan is <= static")
+
     p = sub.add_parser("perf", help="cross-run records, regression gate, "
                                     "HTML dashboard")
     p.add_argument("action", choices=("record", "compare", "report"),
@@ -884,6 +963,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "blame": _cmd_blame,
     "faults": _cmd_faults,
+    "control": _cmd_control,
     "perf": _cmd_perf,
     "serve": _cmd_serve,
     "submit": _cmd_submit,

@@ -1,0 +1,29 @@
+"""Online adaptive control of the in-situ/in-transit split.
+
+The closed feedback loop over the paper's hybrid workflow: windowed probe
+and blame signals in, placement and pool-size decisions out, actuated at
+DES time. See :mod:`repro.control.controller` for the loop itself,
+:mod:`repro.control.hysteresis` for the damping primitive shared with the
+steering rules, and :mod:`repro.control.scenario` for the fault-injected
+adaptive-vs-static comparison.
+"""
+
+from repro.control.controller import (DEFAULT_MOVABLE, PLACE_INSITU,
+                                      PLACE_INTRANSIT, ControlPolicy,
+                                      PlacementController, PlacementDecision,
+                                      WindowSignals)
+from repro.control.hysteresis import Cooldown
+from repro.control.scenario import ControlReport, run_control_scenario
+
+__all__ = [
+    "DEFAULT_MOVABLE",
+    "PLACE_INSITU",
+    "PLACE_INTRANSIT",
+    "ControlPolicy",
+    "ControlReport",
+    "Cooldown",
+    "PlacementController",
+    "PlacementDecision",
+    "WindowSignals",
+    "run_control_scenario",
+]

@@ -1,0 +1,130 @@
+"""Adaptive-vs-static comparison under an injected fault plan.
+
+The controller's value proposition is testable: run the same fault plan
+(bucket crashes + RDMA stalls) twice — once with the paper's static
+split, once with the :class:`~repro.control.controller.PlacementController`
+— and compare makespans. Crashes permanently shrink a static pool (the
+budgeted supervisor is off by default), so queue waits compound step
+after step; the controller observes the backlog in its window signals and
+scales the pool back up at DES time, recovering the lost throughput.
+Everything is seeded, so the comparison — and the decision log — is
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.control.controller import ControlPolicy, PlacementController
+from repro.faults.injector import FaultConfig
+
+
+@dataclass
+class ControlReport:
+    """Outcome of one adaptive-vs-static fault scenario."""
+
+    static_makespan: float
+    adaptive_makespan: float
+    static_max_queue_wait: float
+    adaptive_max_queue_wait: float
+    controller: PlacementController
+    static_result: Any = field(repr=False, default=None)
+    adaptive_result: Any = field(repr=False, default=None)
+    config: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def improved(self) -> bool:
+        """True when the adaptive run met or beat the static makespan."""
+        return self.adaptive_makespan <= self.static_makespan
+
+    @property
+    def speedup(self) -> float:
+        """Static over adaptive makespan (> 1 means the controller won)."""
+        if self.adaptive_makespan <= 0:
+            return 1.0
+        return self.static_makespan / self.adaptive_makespan
+
+    def to_metrics(self, prefix: str = "controller") -> dict[str, float]:
+        """Flatten to perf-dashboard metrics."""
+        return {
+            f"{prefix}.static_makespan_s": self.static_makespan,
+            f"{prefix}.adaptive_makespan_s": self.adaptive_makespan,
+            f"{prefix}.speedup": self.speedup,
+            f"{prefix}.decisions": float(len(self.controller.decisions)),
+            f"{prefix}.pool_final": float(
+                self.controller.pool_trajectory[-1][1]
+                if self.controller.pool_trajectory else 0),
+        }
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-serializable artifact: makespans, decisions, trajectory."""
+        return {
+            "config": self.config,
+            "static_makespan_s": self.static_makespan,
+            "adaptive_makespan_s": self.adaptive_makespan,
+            "speedup": self.speedup,
+            "improved": self.improved,
+            "static_max_queue_wait_s": self.static_max_queue_wait,
+            "adaptive_max_queue_wait_s": self.adaptive_max_queue_wait,
+            "pool_trajectory": [[t, n] for t, n
+                                in self.controller.pool_trajectory],
+            "decisions": self.controller.decision_log(),
+        }
+
+
+def run_control_scenario(n_steps: int = 12,
+                         n_buckets: int = 4,
+                         analysis_interval: int = 1,
+                         seed: int = 0,
+                         crash_times: tuple[float, ...] = (30.0, 55.0),
+                         pull_stall_rate: float = 0.05,
+                         pull_stall_seconds: float = 2.0,
+                         lease_timeout: float = 5.0,
+                         policy: ControlPolicy | None = None,
+                         controller: PlacementController | None = None,
+                         ) -> ControlReport:
+    """Run the fault-injected adaptive-vs-static comparison.
+
+    Both replays use the paper's 4896-core configuration and an identical
+    :class:`~repro.faults.FaultConfig` (same seed, same crash plan, same
+    stall odds). The static run keeps whatever pool survives the crashes;
+    the adaptive run hands the same replay a controller.
+    """
+    # Lazy import: repro.core.tradeoff imports this package's hysteresis
+    # sibling via steering; keep the module graph acyclic.
+    from repro.core.runner import ExperimentConfig, ScaledExperiment
+
+    exp = ScaledExperiment(ExperimentConfig.paper_4896())
+    fault = FaultConfig(seed=seed, crash_times=crash_times,
+                        pull_stall_rate=pull_stall_rate,
+                        pull_stall_seconds=pull_stall_seconds)
+    static = exp.run_schedule(n_steps=n_steps, n_buckets=n_buckets,
+                              analysis_interval=analysis_interval,
+                              lease_timeout=lease_timeout,
+                              fault_config=fault)
+    ctrl = controller or PlacementController(policy)
+    adaptive = exp.run_schedule(n_steps=n_steps, n_buckets=n_buckets,
+                                analysis_interval=analysis_interval,
+                                lease_timeout=lease_timeout,
+                                controller=ctrl,
+                                fault_config=fault)
+    return ControlReport(
+        static_makespan=static.makespan,
+        adaptive_makespan=adaptive.makespan,
+        static_max_queue_wait=static.max_queue_wait(),
+        adaptive_max_queue_wait=adaptive.max_queue_wait(),
+        controller=ctrl,
+        static_result=static,
+        adaptive_result=adaptive,
+        config={
+            "experiment": exp.config.name,
+            "n_steps": n_steps,
+            "n_buckets": n_buckets,
+            "analysis_interval": analysis_interval,
+            "seed": seed,
+            "crash_times": list(crash_times),
+            "pull_stall_rate": pull_stall_rate,
+            "pull_stall_seconds": pull_stall_seconds,
+            "lease_timeout": lease_timeout,
+        })

@@ -405,11 +405,13 @@ class HybridFramework:
         from repro.core.steering import SteeringEvent
         for task in fresh:
             for rule in self.steering:
+                before = self.analysis_interval
                 if rule.consider(self, task):
                     event = SteeringEvent(
                         rule=rule.name, timestep=task.timestep,
                         analysis=task.analysis,
-                        detail={"analysis_interval": self.analysis_interval})
+                        detail={"analysis_interval": self.analysis_interval,
+                                "previous_interval": before})
                     result.steering_events.append(event)
                     self.dataspaces.put("steering", len(result.steering_events),
                                         event)

@@ -93,6 +93,13 @@ class ScheduleResult:
     #: when the replay ran on sharded staging (``n_shards > 1``); None on
     #: the classic single-space path.
     shard_balance: Any | None = None
+    #: The :class:`repro.control.PlacementController` that rode the replay
+    #: (``controller=`` given), carrying its decision log, windowed
+    #: signals, and pool-size trajectory.
+    controller: Any | None = None
+    #: The attached :class:`repro.faults.FaultInjector` when the replay
+    #: ran under an injected fault plan (``fault_config=`` given).
+    faults: Any | None = None
 
     def by_analysis(self, name: str) -> list[TaskResult]:
         return [r for r in self.results if r.analysis == name]
@@ -256,7 +263,9 @@ class ScaledExperiment:
                      n_shards: int = 1,
                      lease_timeout: float | None = None,
                      bucket_restart_delay: float | None = None,
-                     max_bucket_restarts: int = 0) -> ScheduleResult:
+                     max_bucket_restarts: int = 0,
+                     controller: Any | None = None,
+                     fault_config: Any | None = None) -> ScheduleResult:
         """Replay ``n_steps`` of the hybrid workflow on the DES.
 
         One grouped in-transit task per (hybrid analysis, analysed step)
@@ -282,6 +291,17 @@ class ScaledExperiment:
         (``lease_timeout``, ``bucket_restart_delay``,
         ``max_bucket_restarts``) mirror the :class:`DataSpaces`
         constructor and apply per shard.
+
+        With ``controller`` (a :class:`repro.control.PlacementController`)
+        the replay is driven by a DES process that consults the controller
+        every policy window: analyses the controller has pulled in-situ
+        are charged on the simulation timeline instead of being submitted
+        in-transit, and the staging pool is elastically resized through
+        :meth:`DataSpaces.scale_to`. A controller that takes no decisions
+        reproduces the static replay bit-for-bit. ``fault_config`` (a
+        :class:`repro.faults.FaultConfig`) attaches a deterministic fault
+        plan — injected bucket crashes and RDMA pull faults — to either
+        kind of replay. Both require ``n_shards == 1``.
         """
         if n_steps < 1:
             raise ValueError(f"n_steps must be >= 1, got {n_steps}")
@@ -289,6 +309,10 @@ class ScaledExperiment:
             raise ValueError("analysis_interval must be >= 1")
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if n_shards != 1 and (controller is not None
+                              or fault_config is not None):
+            raise ValueError(
+                "controller= and fault_config= require n_shards == 1")
         n_buckets = n_buckets if n_buckets is not None else self.config.n_intransit_cores
         if n_buckets < 1:
             raise ValueError("need at least one staging bucket")
@@ -317,6 +341,12 @@ class ScaledExperiment:
             probe_map = ds.probe_map()
         ds.spawn_buckets([f"staging-{i}" for i in range(n_buckets)])
 
+        injector = None
+        if fault_config is not None:
+            # Lazy import: repro.faults depends on the staging layer.
+            from repro.faults.injector import FaultInjector
+            injector = FaultInjector(engine, fault_config).attach(ds)
+
         sampler: ProbeSampler | None = None
         if probe_interval is not None and get_tracer().enabled:
             sampler = ProbeSampler(
@@ -330,36 +360,118 @@ class ScaledExperiment:
         insitu_total = sum(
             self.cost.time(*self.workload.insitu_op(v)) for v in analyses)
         tracer = get_tracer()
-        t = 0.0
-        for step in range(n_steps):
-            sim_span = None
-            if tracer.enabled:
-                # Model-time simulation timeline (the sim cores' lane).
-                sim_span = tracer.add_span("sim.step", lane="sim-timeline",
-                                           t_start=t, t_end=t + sim_dt,
-                                           category="sim",
-                                           stage="simulation", step=step)
-            t += sim_dt
-            if step % analysis_interval == 0:
-                src_span = sim_span
-                if tracer.enabled and insitu_total > 0.0:
-                    src_span = tracer.add_span("insitu", lane="sim-timeline",
-                                               t_start=t,
-                                               t_end=t + insitu_total,
-                                               category="insitu",
-                                               stage="insitu", step=step)
-                t += insitu_total
+        insitu_results: list[TaskResult] = []
+        if controller is None:
+            t = 0.0
+            for step in range(n_steps):
+                sim_span = None
+                if tracer.enabled:
+                    # Model-time simulation timeline (the sim cores' lane).
+                    sim_span = tracer.add_span("sim.step", lane="sim-timeline",
+                                               t_start=t, t_end=t + sim_dt,
+                                               category="sim",
+                                               stage="simulation", step=step)
+                t += sim_dt
+                if step % analysis_interval == 0:
+                    src_span = sim_span
+                    if tracer.enabled and insitu_total > 0.0:
+                        src_span = tracer.add_span("insitu",
+                                                   lane="sim-timeline",
+                                                   t_start=t,
+                                                   t_end=t + insitu_total,
+                                                   category="insitu",
+                                                   stage="insitu", step=step)
+                    t += insitu_total
 
-                def submit(when_step: int = step, src=src_span) -> None:
-                    # Anchor each submitted task's causal flow at the
-                    # producing in-situ span (sim span if no in-situ work).
-                    ds.flow_src = src
+                    def submit(when_step: int = step, src=src_span) -> None:
+                        # Anchor each submitted task's causal flow at the
+                        # producing in-situ span (sim span if no in-situ
+                        # work).
+                        ds.flow_src = src
+                        try:
+                            for variant in analyses:
+                                ds.submit_insitu_result(
+                                    analysis=variant.value,
+                                    timestep=when_step,
+                                    source_node=f"sim-agg-{when_step}",
+                                    payload=None,
+                                    nbytes=self.workload.movement_bytes_total(variant),
+                                    cost_op=f"service.{variant.name}",
+                                    cost_elements=1,
+                                )
+                        finally:
+                            ds.flow_src = None
+
+                    engine.call_at(t, submit)
+            # Shutdown only after the last submission has been issued (the
+            # drain logic then waits for outstanding tasks to finish).
+            engine.call_at(t, ds.shutdown_buckets)
+        else:
+            # Adaptive replay: a DES driver process walks the same
+            # timeline step by step so the controller can re-place
+            # analyses and resize the pool *during* the run. With zero
+            # decisions the float accumulation order matches the static
+            # path exactly, so the results are bit-identical.
+            controller.begin_run(experiment=self, ds=ds, analyses=analyses,
+                                 n_buckets=n_buckets,
+                                 analysis_interval=analysis_interval,
+                                 probe_map=probe_map)
+            insitu_base = {v: self.cost.time(*self.workload.insitu_op(v))
+                           for v in analyses}
+            intransit_extra = {v: self.analytics_timing(v).intransit_time
+                               for v in analyses}
+            window = controller.policy.window
+
+            def drive():
+                analysed = 0
+                for step in range(n_steps):
+                    t0 = engine.now
+                    yield engine.timeout(sim_dt)
+                    sim_span = None
+                    if tracer.enabled:
+                        sim_span = tracer.add_span(
+                            "sim.step", lane="sim-timeline",
+                            t_start=t0, t_end=engine.now,
+                            category="sim", stage="simulation", step=step)
+                    if step % analysis_interval != 0:
+                        continue
+                    t_in0 = engine.now
+                    base = sum(insitu_base[v] for v in analyses)
+                    if base > 0.0:
+                        yield engine.timeout(base)
+                    # Analyses pulled in-situ run their completion stage
+                    # on the simulation timeline: no movement, no queue —
+                    # but the full in-transit compute charge stretches
+                    # the step.
+                    for variant in controller.insitu_placed():
+                        seg0 = engine.now
+                        if intransit_extra[variant] > 0.0:
+                            yield engine.timeout(intransit_extra[variant])
+                        insitu_results.append(TaskResult(
+                            task_id=f"{variant.value}/t{step}/insitu",
+                            analysis=variant.value, timestep=step,
+                            bucket="sim-insitu", value=None,
+                            enqueue_time=seg0, assign_time=seg0,
+                            pull_done_time=seg0, finish_time=engine.now,
+                            bytes_pulled=0))
+                    src_span = sim_span
+                    if tracer.enabled and engine.now > t_in0:
+                        src_span = tracer.add_span(
+                            "insitu", lane="sim-timeline",
+                            t_start=t_in0, t_end=engine.now,
+                            category="insitu", stage="insitu", step=step)
+                    controller.note_step(sim_seconds=sim_dt,
+                                         insitu_seconds=engine.now - t_in0)
+                    insitu_set = set(controller.insitu_placed())
+                    ds.flow_src = src_span
                     try:
                         for variant in analyses:
+                            if variant in insitu_set:
+                                continue
                             ds.submit_insitu_result(
                                 analysis=variant.value,
-                                timestep=when_step,
-                                source_node=f"sim-agg-{when_step}",
+                                timestep=step,
+                                source_node=f"sim-agg-{step}",
                                 payload=None,
                                 nbytes=self.workload.movement_bytes_total(variant),
                                 cost_op=f"service.{variant.name}",
@@ -367,15 +479,19 @@ class ScaledExperiment:
                             )
                     finally:
                         ds.flow_src = None
+                    analysed += 1
+                    if analysed % window == 0:
+                        controller.on_window(engine.now)
+                ds.shutdown_buckets()
 
-                engine.call_at(t, submit)
-        # Shutdown only after the last submission has been issued (the
-        # drain logic then waits for outstanding tasks to finish).
-        engine.call_at(t, ds.shutdown_buckets)
+            engine.process(drive(), name="controller-driver")
         engine.run()
         if sampler is not None:
             sampler.finalize(get_tracer().trace)
         results = ds.all_results()
+        if insitu_results:
+            results = sorted(results + insitu_results,
+                             key=lambda r: r.finish_time)
         makespan = max((r.finish_time for r in results), default=0.0)
         if n_shards == 1:
             assignments = list(ds.scheduler.assignments)
@@ -388,7 +504,9 @@ class ScaledExperiment:
                               n_buckets=n_buckets,
                               assignments=assignments,
                               probes=sampler,
-                              shard_balance=shard_balance)
+                              shard_balance=shard_balance,
+                              controller=controller,
+                              faults=injector)
 
     # -- observability ------------------------------------------------------------
 

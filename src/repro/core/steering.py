@@ -21,6 +21,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro.control.hysteresis import Cooldown
 from repro.staging.descriptors import TaskResult
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -29,32 +30,54 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass
 class SteeringRule:
-    """When ``predicate(result)`` holds, run ``action(framework, result)``."""
+    """When ``predicate(result)`` holds, run ``action(framework, result)``.
+
+    An action may return ``False`` to report that it had no effect (e.g.
+    a cadence change to the interval already in force); such no-op
+    considerations do not count as firings and are not recorded in the
+    shared-space decision history — a refine/coarsen rule pair therefore
+    cannot flap the history with repeated identical decisions.
+    """
 
     name: str
     predicate: Callable[[TaskResult], bool]
-    action: Callable[["HybridFramework", TaskResult], None]
+    #: Returns ``False`` for an ineffective (no-op) application; any other
+    #: return value (including ``None``) counts as a firing.
+    action: Callable[["HybridFramework", TaskResult], Any]
     #: Fire at most this many times (None = unlimited).
     max_firings: int | None = None
+    #: Hysteresis: after a firing, suppress re-firing until the observed
+    #: result's timestep has advanced by at least this many steps. The
+    #: same :class:`~repro.control.hysteresis.Cooldown` primitive damps
+    #: the placement controller's decisions.
+    cooldown_steps: int = 0
     firings: int = field(default=0, init=False)
+    _cooldown: Cooldown = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._cooldown = Cooldown(self.cooldown_steps)
 
     def consider(self, framework: "HybridFramework", result: TaskResult) -> bool:
         """Evaluate and (maybe) fire; returns True if the rule fired."""
         if self.max_firings is not None and self.firings >= self.max_firings:
             return False
+        if not self._cooldown.ready(result.timestep):
+            return False
         if not self.predicate(result):
             return False
+        if self.action(framework, result) is False:
+            return False  # no effective change — not a firing
         self.firings += 1
-        self.action(framework, result)
+        self._cooldown.fire(result.timestep)
         return True
 
 
 def refine_cadence_on_topology(n_maxima: int, new_interval: int,
-                               min_persistence: float = 0.0
-                               ) -> SteeringRule:
+                               min_persistence: float = 0.0,
+                               cooldown_steps: int = 0) -> SteeringRule:
     """Analyse more often once the merge tree shows >= ``n_maxima``
     features — the "capture intermittent events at higher frequency"
-    steering move."""
+    steering move. Fires only when the interval actually tightens."""
     if n_maxima < 1 or new_interval < 1:
         raise ValueError("n_maxima and new_interval must be >= 1")
 
@@ -67,12 +90,16 @@ def refine_cadence_on_topology(n_maxima: int, new_interval: int,
             tree = simplify(tree, min_persistence)
         return len(tree.leaves()) >= n_maxima
 
-    def action(framework: "HybridFramework", result: TaskResult) -> None:
-        framework.analysis_interval = min(framework.analysis_interval,
-                                          new_interval)
+    def action(framework: "HybridFramework", result: TaskResult) -> Any:
+        tightened = min(framework.analysis_interval, new_interval)
+        if tightened == framework.analysis_interval:
+            return False
+        framework.analysis_interval = tightened
+        return True
 
     return SteeringRule(name=f"refine-cadence(>={n_maxima} maxima)",
-                        predicate=predicate, action=action)
+                        predicate=predicate, action=action,
+                        cooldown_steps=cooldown_steps)
 
 
 def checkpoint_on_hot_spot(threshold: float, path: str,
@@ -100,10 +127,11 @@ def checkpoint_on_hot_spot(threshold: float, path: str,
                         max_firings=1)
 
 
-def coarsen_cadence_when_quiet(max_maxima: int, new_interval: int
-                               ) -> SteeringRule:
+def coarsen_cadence_when_quiet(max_maxima: int, new_interval: int,
+                               cooldown_steps: int = 0) -> SteeringRule:
     """Back off the analysis cadence while the field is featureless —
-    reclaiming the in-situ budget the paper's §V discussion motivates."""
+    reclaiming the in-situ budget the paper's §V discussion motivates.
+    Fires only when the interval actually widens."""
     if max_maxima < 0 or new_interval < 1:
         raise ValueError("max_maxima must be >= 0, new_interval >= 1")
 
@@ -112,12 +140,16 @@ def coarsen_cadence_when_quiet(max_maxima: int, new_interval: int
             return False
         return len(result.value.reduced().leaves()) <= max_maxima
 
-    def action(framework: "HybridFramework", result: TaskResult) -> None:
-        framework.analysis_interval = max(framework.analysis_interval,
-                                          new_interval)
+    def action(framework: "HybridFramework", result: TaskResult) -> Any:
+        widened = max(framework.analysis_interval, new_interval)
+        if widened == framework.analysis_interval:
+            return False
+        framework.analysis_interval = widened
+        return True
 
     return SteeringRule(name=f"coarsen-cadence(<={max_maxima} maxima)",
-                        predicate=predicate, action=action)
+                        predicate=predicate, action=action,
+                        cooldown_steps=cooldown_steps)
 
 
 @dataclass(frozen=True)

@@ -44,13 +44,17 @@ class StrategyOutcome:
     time_to_insight: float
     #: Total extra bytes written to persistent storage per analysed step.
     storage_bytes: int
+    #: The experiment's simulated step time — the denominator of
+    #: :attr:`slowdown_percent`. Derived from the configuration's
+    #: ``simulation_step_time()`` by the model, never hard-coded.
+    sim_step_time: float
 
     @property
     def slowdown_percent(self) -> float:
-        return 100.0 * self.critical_path_per_step / self._sim_time
-
-    # filled by the model; kept off the dataclass fields for frozen-ness
-    _sim_time: float = 16.85
+        if self.sim_step_time <= 0:
+            raise ValueError(
+                f"sim_step_time must be > 0, got {self.sim_step_time}")
+        return 100.0 * self.critical_path_per_step / self.sim_step_time
 
 
 class TradeoffModel:
@@ -65,12 +69,11 @@ class TradeoffModel:
 
     def _mk(self, strategy: str, stride: int, critical: float,
             insight: float, storage: int) -> StrategyOutcome:
-        out = StrategyOutcome(strategy=strategy, temporal_stride=stride,
-                              critical_path_per_step=critical,
-                              time_to_insight=insight,
-                              storage_bytes=storage)
-        object.__setattr__(out, "_sim_time", self.breakdown.simulation_time)
-        return out
+        return StrategyOutcome(strategy=strategy, temporal_stride=stride,
+                               critical_path_per_step=critical,
+                               time_to_insight=insight,
+                               storage_bytes=storage,
+                               sim_step_time=self.breakdown.simulation_time)
 
     # -- strategies ----------------------------------------------------------
 

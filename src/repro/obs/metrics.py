@@ -78,6 +78,26 @@ class Gauge:
         if self.series is not None:
             self.series.append((self._clock(), value))
 
+    def mirror(self, samples: list[tuple[float, float]]) -> None:
+        """Bulk-replay a ``(time, value)`` series into the gauge.
+
+        Produces the exact end-state of calling :meth:`set` once per
+        sample at its recorded time — last value, min/max envelope,
+        sample count, and (when the registry records series) the
+        timestamped series itself — without touching the live clock, so
+        post-run mirrors (e.g. :meth:`repro.obs.probes.ProbeSampler.finalize`)
+        keep the samples' original timestamps.
+        """
+        if not samples:
+            return
+        values = [v for _t, v in samples]
+        self.value = values[-1]
+        self.vmin = min(self.vmin, min(values))
+        self.vmax = max(self.vmax, max(values))
+        self.n_samples += len(samples)
+        if self.series is not None:
+            self.series.extend(samples)
+
 
 class Histogram:
     """Distribution of observed values (transfer sizes, span durations).
@@ -174,6 +194,9 @@ class _NullInstrument:
         pass
 
     def set(self, value: float) -> None:
+        pass
+
+    def mirror(self, samples: list[tuple[float, float]]) -> None:
         pass
 
     def observe(self, value: float) -> None:

@@ -233,6 +233,9 @@ DEFAULT_POLICIES: tuple[MetricPolicy, ...] = (
     MetricPolicy("probe.samples", tolerance=0.0, direction="both"),
     MetricPolicy("slo.alerts", tolerance=0.0, direction="lower"),
     MetricPolicy("faults.*", tolerance=0.02, direction="lower"),
+    MetricPolicy("controller.speedup", tolerance=0.02, direction="higher"),
+    MetricPolicy("controller.decisions", tolerance=0.0, direction="both"),
+    MetricPolicy("controller.pool_final", tolerance=0.0, direction="both"),
     MetricPolicy("*", tolerance=0.02, direction="lower"),
 )
 
@@ -544,6 +547,16 @@ def collect_run_record(n_steps: int = 10, n_buckets: int = 8,
     metrics["service.held_events"] = float(
         sum(job.held for job in svc.jobs))
 
+    # Phase 5: the adaptive-controller fault scenario — static vs
+    # adaptive makespans and the decision count ride the gate, so a
+    # change that silences the controller (or slows its recovery) trips
+    # the comparison exactly like a kernel regression would.
+    from repro.control import run_control_scenario
+
+    control = run_control_scenario(n_steps=8, n_buckets=4,
+                                   seed=fault_seed)
+    metrics.update(control.to_metrics())
+
     metrics["wall.record_s"] = time.perf_counter() - wall_start
 
     meta = {
@@ -556,6 +569,9 @@ def collect_run_record(n_steps: int = 10, n_buckets: int = 8,
         "alerts": alerts,
         "probe_series": probe_series,
         "stage_breakdown": exp.breakdown().fig6_series(),
+        "control_decisions": control.controller.decision_log(),
+        "control_pool_trajectory": [[t, n] for t, n
+                                    in control.controller.pool_trajectory],
         "slo_rules": ([r.describe() for r in sampler.rules]
                       if sampler is not None else []),
         "host": os.uname().sysname if hasattr(os, "uname") else "unknown",

@@ -224,14 +224,10 @@ class ProbeSampler:
         """
         if self._rows is not None:
             for _name, _fn, series, gauge in self._rows:
-                if not series:
-                    continue
-                values = [v for _t, v in series]
-                # Three sets reproduce the gauge's envelope (min, max,
-                # last value) without replaying every sample.
-                gauge.set(min(values))
-                gauge.set(max(values))
-                gauge.set(values[-1])
+                # One bulk mirror replays the whole series: envelope,
+                # sample count, and timestamped samples all match a
+                # per-sample gauge.set() exactly.
+                gauge.mirror(series)
         totals = trace.stage_totals()
         end = max((s.t_end for s in trace.closed_spans()), default=0.0)
         for rule in self._summary_rules:

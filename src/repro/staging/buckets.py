@@ -33,7 +33,8 @@ from repro.costmodel.models import CostModel
 from repro.des import Engine, Interrupt
 from repro.obs.flow import EDGE_SERVICE
 from repro.obs.tracer import get_tracer
-from repro.staging.descriptors import TaskDescriptor, TaskResult
+from repro.staging.descriptors import (RETIRE_TASK_ID, TaskDescriptor,
+                                       TaskResult)
 from repro.staging.scheduler import TaskScheduler
 from repro.transport.dart import DartTransport
 
@@ -80,6 +81,14 @@ class StagingBucket:
         self.terminal_failures: list[str] = []
         self.busy_time: float = 0.0
         self.dead = False
+        #: True once the bucket exited via a scale-down retire sentinel.
+        #: Distinct from ``dead``: a retired worker left cleanly and must
+        #: not be replaced by the supervisor or sent a shutdown sentinel.
+        self.retired = False
+        #: True while a scale-down retirement is pending (set by the
+        #: elastic supervisor; the worker may still be finishing its
+        #: current task). Excluded from the supervisor's committed pool.
+        self.retiring = False
         #: The task currently being executed (None while idle).
         self.current_task: TaskDescriptor | None = None
         self._tracer = get_tracer()
@@ -92,6 +101,14 @@ class StagingBucket:
                 yield self.engine.timeout(self.rpc_latency)
                 task: TaskDescriptor = yield self.scheduler.bucket_ready(self.name)
                 if task.task_id == StagingBucket.SHUTDOWN.task_id:
+                    return
+                if task.task_id == RETIRE_TASK_ID:
+                    # Pool scale-down: exit cleanly; completed results
+                    # stay owned by this (now retired) worker.
+                    self.retired = True
+                    if self._tracer.enabled:
+                        self._tracer.counter("bucket.retirements")
+                        self._tracer.instant("bucket.retire", lane=self.name)
                     return
                 self.current_task = task
                 tracer = self._tracer

@@ -124,6 +124,17 @@ class DataSpaces:
         self.restarts_used = 0
         self._pending_restarts = 0
         self._restart_ids = itertools.count(1)
+        # -- elastic pool (scale-to-target supervisor) --
+        #: When set (via :meth:`scale_to`), the supervisor keeps the pool
+        #: reconciled to this size instead of the restart-budget policy:
+        #: crashed workers are respawned toward the target (after
+        #: ``bucket_restart_delay``, immediately if None) and surplus
+        #: workers are retired through the scheduler's lease hand-off.
+        self.pool_target: int | None = None
+        #: Workers respawned by the scale-to-target supervisor (distinct
+        #: from the budgeted ``restarts_used``).
+        self.pool_respawns = 0
+        self._grow_ids = itertools.count(1)
         self._shutting_down = False
         self._bucket_procs: dict[str, ProcessHandle] = {}
         #: Results produced by the degraded-mode in-situ fallback.
@@ -370,8 +381,59 @@ class DataSpaces:
         return bucket
 
     def live_buckets(self) -> int:
-        """Number of staging cores currently alive."""
-        return sum(1 for b in self.buckets if not b.dead)
+        """Number of staging cores currently alive (retired ones left)."""
+        return sum(1 for b in self.buckets if not b.dead and not b.retired)
+
+    def committed_buckets(self) -> int:
+        """Pool size the supervisor is committed to: live workers minus
+        pending retirements, plus respawns already scheduled."""
+        alive = sum(1 for b in self.buckets
+                    if not b.dead and not b.retired and not b.retiring)
+        return alive + self._pending_restarts
+
+    def scale_to(self, target: int) -> dict[str, list[str]]:
+        """Elastically resize the bucket pool to ``target`` workers.
+
+        Growth spawns fresh workers immediately (DES time); shrinkage
+        retires surplus workers, newest first, through
+        :meth:`TaskScheduler.retire_bucket` — an idle worker leaves at
+        once, a busy one finishes its current task (its lease is handed
+        back via the normal ``task_done`` path) and then exits. Setting a
+        target also switches the crash supervisor from the restart-budget
+        policy to reconcile-to-target (see :meth:`_on_bucket_death`).
+
+        Returns ``{"spawned": [...], "retiring": [...]}`` worker names.
+        """
+        if target < 1:
+            raise ValueError(f"pool target must be >= 1, got {target}")
+        if self._shutting_down or self.degraded:
+            raise RuntimeError(
+                "cannot scale a draining or degraded staging area")
+        self.pool_target = target
+        spawned: list[str] = []
+        retiring: list[str] = []
+        alive = [b for b in self.buckets
+                 if not b.dead and not b.retired and not b.retiring]
+        committed = len(alive) + self._pending_restarts
+        while committed < target:
+            name = f"staging+{next(self._grow_ids)}"
+            self._spawn_bucket(name)
+            spawned.append(name)
+            committed += 1
+        surplus = committed - target
+        for bucket in reversed(alive):
+            if surplus == 0:
+                break
+            bucket.retiring = True
+            self.scheduler.retire_bucket(bucket.name)
+            retiring.append(bucket.name)
+            surplus -= 1
+        if self._tracer.enabled and (spawned or retiring):
+            self._tracer.counter("dataspaces.pool_scalings")
+            self._tracer.instant("dataspaces.scale_to", lane="dataspaces",
+                                 target=target, spawned=len(spawned),
+                                 retiring=len(retiring))
+        return {"spawned": spawned, "retiring": retiring}
 
     def crash_bucket(self, name: str, cause: Any = "injected crash") -> None:
         """Kill a staging core: its worker process sees an Interrupt.
@@ -393,6 +455,29 @@ class DataSpaces:
         if self._tracer.enabled:
             self._tracer.counter("dataspaces.bucket_deaths")
         if self._shutting_down or self.degraded:
+            return
+        if self.pool_target is not None:
+            # Scale-to-target mode: reconcile toward the target instead of
+            # spending the restart budget; the controller's memory bound
+            # (not ``max_bucket_restarts``) limits the pool.
+            if self.committed_buckets() < self.pool_target:
+                self._pending_restarts += 1
+                self.pool_respawns += 1
+                replacement = f"staging+{next(self._grow_ids)}"
+                if self._tracer.enabled:
+                    self._tracer.counter("dataspaces.pool_respawns")
+                    self._tracer.instant("dataspaces.pool_respawn",
+                                         lane="dataspaces", dead=bucket.name,
+                                         replacement=replacement)
+
+                def respawn() -> None:
+                    self._pending_restarts -= 1
+                    if not self._shutting_down and not self.degraded:
+                        self._spawn_bucket(replacement)
+
+                self.engine.call_at(
+                    self.engine.now + (self.bucket_restart_delay or 0.0),
+                    respawn)
             return
         if (self.bucket_restart_delay is not None
                 and self.restarts_used < self.max_bucket_restarts):
@@ -543,7 +628,9 @@ class DataSpaces:
             yield self.drained()
             self._shutting_down = True
             for bucket in self.buckets:
-                if not bucket.dead:
+                # Retired workers already left; a retiring one takes the
+                # retire sentinel at its next announcement instead.
+                if not bucket.dead and not bucket.retired and not bucket.retiring:
                     self.scheduler.data_ready(StagingBucket.SHUTDOWN)
 
         self.engine.process(drain_then_shutdown(), name="shutdown")

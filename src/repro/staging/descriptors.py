@@ -12,6 +12,12 @@ from repro.transport.messages import DataDescriptor
 #: The scheduler never leases it and the degraded-mode fallback ignores it.
 SHUTDOWN_TASK_ID = "__shutdown__"
 
+#: Task id of the bucket retirement sentinel (see ``StagingBucket.RETIRE``).
+#: Handed by the scheduler to exactly one bucket when the pool scales
+#: down: the bucket exits its worker loop cleanly (``retired``, not
+#: ``dead``, so the supervisor does not replace it). Never leased.
+RETIRE_TASK_ID = "__retire__"
+
 
 @dataclass
 class TaskDescriptor:
@@ -73,6 +79,12 @@ class TaskDescriptor:
     @property
     def total_bytes(self) -> int:
         return sum(d.nbytes for d in self.data)
+
+
+def retire_sentinel() -> TaskDescriptor:
+    """The pool-scale-down sentinel handed to exactly one bucket."""
+    return TaskDescriptor(task_id=RETIRE_TASK_ID, analysis="__retire__",
+                          timestep=-1, data=[])
 
 
 @dataclass

@@ -28,7 +28,8 @@ from dataclasses import dataclass
 from repro.des import Engine, EventHandle
 from repro.obs.flow import EDGE_NOTIFY, EDGE_QUEUE, EDGE_RETRY
 from repro.obs.tracer import get_tracer
-from repro.staging.descriptors import SHUTDOWN_TASK_ID, TaskDescriptor
+from repro.staging.descriptors import (SHUTDOWN_TASK_ID, TaskDescriptor,
+                                       retire_sentinel)
 
 
 @dataclass
@@ -76,6 +77,10 @@ class TaskScheduler:
         self.queue_trace: list[tuple[float, int]] = []
         self._leases: dict[str, EventHandle] = {}
         self._dead_buckets: set[str] = set()
+        #: Buckets with a pending scale-down retirement: each receives a
+        #: retire sentinel at its next bucket-ready announcement instead
+        #: of a task (see :meth:`retire_bucket`).
+        self._retiring: set[str] = set()
         #: Degraded-mode redirect: when set, data-ready tasks bypass the
         #: queue and are handed to this callable (the staging area is gone
         #: and DataSpaces runs tasks in-situ instead).
@@ -120,6 +125,13 @@ class TaskScheduler:
             self._tracer.counter("sched.bucket_ready")
             self._tracer.instant("sched.bucket_ready", lane=self.lane,
                                  bucket=bucket)
+        if bucket in self._retiring:
+            # Scale-down hand-off: the bucket just finished (and lease-
+            # released) its previous task; it gets the retire sentinel
+            # instead of new work.
+            self._retiring.discard(bucket)
+            self._retire(bucket, ev)
+            return ev
         if self._task_queue:
             task, ready_t = self._task_queue.popleft()
             self._assign(task, ready_t, bucket, ev, now)
@@ -188,6 +200,32 @@ class TaskScheduler:
                 self._start_lease(task, bucket)
 
         lease.callbacks.append(on_expiry)
+
+    def retire_bucket(self, bucket: str) -> bool:
+        """Request a scale-down retirement of ``bucket``.
+
+        An idle bucket (parked in the free list) is retired immediately:
+        its pending bucket-ready event succeeds with the retire sentinel.
+        A busy bucket is marked; it finishes its current task normally
+        (the lease is handed back through the usual ``task_done`` path)
+        and receives the sentinel at its next announcement. Returns True
+        if the retirement was delivered immediately.
+        """
+        for i, (name, ev, _ready_t) in enumerate(self._free_buckets):
+            if name == bucket:
+                del self._free_buckets[i]
+                self._retire(bucket, ev)
+                return True
+        self._retiring.add(bucket)
+        return False
+
+    def _retire(self, bucket: str, ev: EventHandle) -> None:
+        if self._tracer.enabled:
+            self._tracer.counter("sched.bucket_retired")
+            self._tracer.instant("sched.bucket_retire", lane=self.lane,
+                                 bucket=bucket)
+        ev.succeed(retire_sentinel())
+        self._sample()
 
     def task_done(self, task_id: str) -> None:
         """Acknowledge a task outcome (success, terminal failure, or a

@@ -67,6 +67,27 @@ class TestCommands:
         assert rc == 0
         assert "keeps pace" in capsys.readouterr().out
 
+    def test_control_gate_passes_and_writes_artifact(self, tmp_path,
+                                                     capsys):
+        import json
+        rc = main(["control", "--steps", "8", "--gate",
+                   "--out-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "adaptive" in out and "speedup" in out
+        assert "decision log" in out
+        artifact = json.loads(
+            (tmp_path / "repro_control.json").read_text())
+        assert artifact["improved"] is True
+        assert artifact["decisions"]
+        assert artifact["adaptive_makespan_s"] <= artifact["static_makespan_s"]
+
+    def test_control_parser_defaults(self):
+        args = build_parser().parse_args(["control"])
+        assert args.steps == 12
+        assert args.crash_times == [30.0, 55.0]
+        assert not args.gate
+
     def test_schedule_overloaded_returns_nonzero(self, capsys):
         rc = main(["schedule", "--steps", "4", "--buckets", "1"])
         assert rc == 1

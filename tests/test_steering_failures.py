@@ -45,11 +45,59 @@ class TestSteeringRules:
         assert rule.firings >= 1
 
     def test_max_firings_cap(self):
-        rule = refine_cadence_on_topology(n_maxima=1, new_interval=1)
-        rule.max_firings = 2
+        # A rule whose action always has an effect is capped by
+        # max_firings even though its predicate holds on every result.
+        effects = []
+        rule = SteeringRule(
+            name="always-effective",
+            predicate=lambda result: result.analysis == "topology",
+            action=lambda fw, result: effects.append(result.timestep),
+            max_firings=2)
         fw = _framework(steering=(rule,))
         fw.run(6, analysis_interval=1)
         assert rule.firings == 2
+        assert len(effects) == 2
+
+    def test_no_flap_when_interval_already_tight(self):
+        # The refine rule's predicate holds on every topology result, but
+        # refining to the interval already in force is a no-op: it never
+        # fires and never pollutes the shared-space decision history.
+        rule = refine_cadence_on_topology(n_maxima=1, new_interval=1)
+        fw = _framework(steering=(rule,))
+        result = fw.run(6, analysis_interval=1)
+        assert rule.firings == 0
+        assert result.steering_events == []
+        assert fw.dataspaces.versions("steering") == []
+
+    def test_refine_coarsen_pair_cooldown_damps_pingpong(self):
+        # An opposed rule pair whose predicates both always hold would
+        # genuinely ping-pong the interval; the cooldown knob bounds each
+        # side to one firing per refractory period.
+        refine = refine_cadence_on_topology(n_maxima=1, new_interval=1,
+                                            cooldown_steps=100)
+        coarsen = coarsen_cadence_when_quiet(max_maxima=10**6,
+                                             new_interval=3,
+                                             cooldown_steps=100)
+        fw = _framework(steering=(refine, coarsen))
+        result = fw.run(8, analysis_interval=3)
+        assert refine.firings <= 1 and coarsen.firings <= 1
+        assert len(result.steering_events) == refine.firings + coarsen.firings
+        # Every recorded event carries the actual transition.
+        for ev in result.steering_events:
+            assert ev.detail["previous_interval"] != ev.detail["analysis_interval"]
+
+    def test_cooldown_suppresses_refires(self):
+        fired = []
+        rule = SteeringRule(
+            name="cooled",
+            predicate=lambda result: result.analysis == "topology",
+            action=lambda fw, result: fired.append(result.timestep),
+            cooldown_steps=4)
+        fw = _framework(steering=(rule,))
+        fw.run(6, analysis_interval=1)
+        # Firings at least 4 timesteps apart: steps 0..5 allow at most 2.
+        assert rule.firings == len(fired) <= 2
+        assert all(b - a >= 4 for a, b in zip(fired, fired[1:]))
 
     def test_checkpoint_on_hot_spot(self, tmp_path):
         path = str(tmp_path / "event.bp")

@@ -80,3 +80,24 @@ class TestSlowdownPercent:
         o = model.concurrent_hybrid(1)
         expected = 100 * o.critical_path_per_step / model.breakdown.simulation_time
         assert o.slowdown_percent == pytest.approx(expected)
+
+    def test_denominator_derives_from_experiment_not_a_constant(self):
+        # A non-paper configuration has a different step time; the
+        # slowdown denominator must follow it (the old code froze the
+        # paper's 16.85 s regardless of the experiment under study).
+        exp = ScaledExperiment(ExperimentConfig.paper_9440())
+        assert exp.simulation_step_time() != pytest.approx(16.85, abs=0.01)
+        model = TradeoffModel(exp)
+        o = model.concurrent_hybrid(1)
+        assert o.sim_step_time == pytest.approx(exp.simulation_step_time())
+        assert o.slowdown_percent == pytest.approx(
+            100 * o.critical_path_per_step / exp.simulation_step_time())
+
+    def test_nonpositive_sim_step_time_rejected(self):
+        from repro.core.tradeoff import StrategyOutcome
+        bad = StrategyOutcome(strategy="s", temporal_stride=1,
+                              critical_path_per_step=1.0,
+                              time_to_insight=1.0, storage_bytes=0,
+                              sim_step_time=0.0)
+        with pytest.raises(ValueError):
+            bad.slowdown_percent
