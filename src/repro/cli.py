@@ -28,6 +28,10 @@ Commands:
 * ``serve``     — drain a multi-tenant JSONL campaign batch through the
   service layer (fair-share queue, per-tenant quotas, sharded staging,
   memoized schedule cache) and emit the per-tenant report;
+* ``top``       — live view of a draining campaign batch: per-tenant
+  queue/cache/alert state over the streaming telemetry bus, with
+  ``--follow --jsonl`` event export for collectors and per-tenant
+  burn-rate alert gates;
 * ``submit``    — append one validated job spec to a JSONL batch file;
 * ``jobs``      — list job records from the service state directory.
 
@@ -44,6 +48,18 @@ from collections.abc import Sequence
 from pathlib import Path
 
 
+def _anchor(dir_path: str | Path) -> Path:
+    """Resolve a user-supplied directory against the invocation CWD once.
+
+    Every command anchors ``--out-dir``/``--state-dir`` through here, so
+    a relative directory means the same place no matter which helper
+    later joins paths onto it (``repro control`` used to scatter its
+    JSON into the bare CWD when invoked from a subdirectory).
+    """
+    path = Path(dir_path).expanduser()
+    return path if path.is_absolute() else Path.cwd() / path
+
+
 def _resolve_out(explicit: str | None, out_dir: str, default_name: str
                  ) -> Path:
     """Resolve an output path against ``--out-dir``.
@@ -52,12 +68,13 @@ def _resolve_out(explicit: str | None, out_dir: str, default_name: str
     ``--out-dir`` (so ``--out foo.json`` does not scatter artifacts into
     the CWD); an absolute path is respected as given.
     """
+    base = _anchor(out_dir)
     if explicit is None:
-        path = Path(out_dir) / default_name
+        path = base / default_name
     else:
-        path = Path(explicit)
+        path = Path(explicit).expanduser()
         if not path.is_absolute():
-            path = Path(out_dir) / path
+            path = base / path
     path.parent.mkdir(parents=True, exist_ok=True)
     return path
 
@@ -485,7 +502,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         compare_record,
     )
 
-    out_dir = Path(args.out_dir)
+    out_dir = _anchor(args.out_dir)
     store = RunStore(args.store if args.store else out_dir / "perf")
     baseline_store = RunStore(args.baseline)
     perturb = _parse_kv_floats(args.perturb, "--perturb") or None
@@ -567,8 +584,8 @@ def _cmd_perf(args: argparse.Namespace) -> int:
 
 def _service_state(args: argparse.Namespace) -> Path:
     """Service state directory (schedule cache + job records)."""
-    state = Path(args.state_dir) if args.state_dir else (
-        Path(args.out_dir) / "service")
+    state = _anchor(args.state_dir) if args.state_dir else (
+        _anchor(args.out_dir) / "service")
     state.mkdir(parents=True, exist_ok=True)
     return state
 
@@ -605,6 +622,22 @@ def _load_batch(path: Path) -> tuple[list, list]:
     return specs, quotas
 
 
+def _parse_quota_flags(pairs: list[str]) -> list:
+    """``--quota TENANT=N`` flags -> :class:`TenantQuota` list."""
+    from repro.service import TenantQuota
+
+    quotas = []
+    for pair in pairs:
+        tenant, sep, raw = pair.partition("=")
+        if not sep or not tenant:
+            raise SystemExit(f"--quota expects TENANT=N, got {pair!r}")
+        try:
+            quotas.append(TenantQuota(tenant, max_concurrent=int(raw)))
+        except ValueError as exc:
+            raise SystemExit(f"--quota {pair!r}: {exc}") from None
+    return quotas
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
@@ -614,14 +647,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     specs, quotas = _load_batch(Path(args.jobs))
     if not specs:
         raise SystemExit(f"batch file {args.jobs} holds no jobs")
-    for pair in args.quota:
-        tenant, sep, raw = pair.partition("=")
-        if not sep or not tenant:
-            raise SystemExit(f"--quota expects TENANT=N, got {pair!r}")
-        try:
-            quotas.append(TenantQuota(tenant, max_concurrent=int(raw)))
-        except ValueError as exc:
-            raise SystemExit(f"--quota {pair!r}: {exc}") from None
+    quotas += _parse_quota_flags(args.quota)
 
     state = _service_state(args)
     service = CampaignService(
@@ -664,6 +690,128 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return rc
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.obs import (
+        TelemetryBus,
+        default_objectives,
+        disable_tracing,
+        enable_tracing,
+        event_to_json,
+        render_top,
+    )
+    from repro.service import CampaignService, ScheduleCache, TenantQuota
+
+    specs, quotas = _load_batch(Path(args.jobs))
+    if not specs:
+        raise SystemExit(f"batch file {args.jobs} holds no jobs")
+    quotas += _parse_quota_flags(args.quota)
+
+    bus = TelemetryBus(capacity=args.capacity)
+    sub = bus.subscribe("cli")
+    # The live plane needs a recording tracer: the bus hooks live on
+    # Tracer, and everything publishes DES-clock data only, so the
+    # event stream of a same-seed batch is byte-identical across runs.
+    # The service attaches the bus itself once its worker pool is up.
+    enable_tracing()
+    out_fh = None
+    try:
+        # No --state-dir -> in-memory schedule cache: re-running the
+        # same batch replays every job identically instead of serving
+        # a warmed cache (which would change the event stream).
+        cache = (ScheduleCache(_anchor(args.state_dir) / "cache")
+                 if args.state_dir else None)
+        service = CampaignService(
+            workers=args.workers,
+            quotas=quotas,
+            default_quota=TenantQuota("*", max_concurrent=args.default_quota),
+            cache=cache,
+            bus=bus,
+            objectives=default_objectives(
+                queue_wait_target=args.queue_wait_slo,
+                slowdown_target=args.slowdown_slo),
+            probe_interval=args.probe_interval)
+        for spec in specs:
+            service.submit(spec)
+        if args.out:
+            out_path = _resolve_out(args.out, args.out_dir,
+                                    "repro_live.jsonl")
+            out_fh = open(out_path, "w", encoding="utf-8")
+
+        def drain_events() -> None:
+            for event in sub.poll():
+                line = event_to_json(event)
+                if args.jsonl:
+                    print(line)
+                if out_fh is not None:
+                    out_fh.write(line + "\n")
+
+        # Drive the service engine event-by-event, repainting once per
+        # --slice of service time; the cadence never changes the event
+        # stream, only how often the screen refreshes, and the clock
+        # stops exactly at the drain (no overshoot to a slice boundary).
+        boundary = args.slice
+        while True:
+            nxt = service.engine.next_event_time()
+            if nxt is None:
+                break
+            service.engine.run(until=nxt)
+            if service.engine.now < boundary and not service.engine.idle():
+                continue
+            boundary = service.engine.now + args.slice
+            drain_events()
+            if args.follow and not args.jsonl:
+                print(render_top(service, bus, service.monitor))
+                print()
+            if args.follow and not args.once:
+                time.sleep(args.refresh)
+        drain_events()
+        report = service.report()
+    finally:
+        if out_fh is not None:
+            out_fh.close()
+        disable_tracing()
+
+    by_tenant = {t: r.alerts for t, r in sorted(report.tenants.items())}
+    if args.jsonl:
+        print(json.dumps({"summary": {
+            "duration": report.duration,
+            "jobs": len(report.jobs),
+            "all_done": report.all_done,
+            "events_published": bus.published,
+            "events_dropped": bus.dropped_total,
+            "subscriber_dropped": sub.dropped,
+            "alerts": by_tenant,
+        }}, sort_keys=True, separators=(",", ":")))
+    else:
+        print(render_top(service, bus, service.monitor))
+        print(f"\nbatch drained at t={report.duration:.3f}s: "
+              f"{bus.published} events, {bus.dropped_total} dropped, "
+              f"{len(report.alerts)} alert(s) "
+              f"({', '.join(f'{t}={n}' for t, n in by_tenant.items())})")
+    if out_fh is not None:
+        print(f"wrote {out_path}", file=sys.stderr)
+
+    rc = 0
+    for job in report.jobs:
+        if job.state.value == "failed":
+            print(f"FAILED {job.job_id}: {job.error}", file=sys.stderr)
+            rc = 1
+    for tenant in args.expect_alerts:
+        if not by_tenant.get(tenant):
+            print(f"EXPECTED ALERTS for tenant {tenant!r}, got none",
+                  file=sys.stderr)
+            rc = 1
+    for tenant in args.expect_clean:
+        if by_tenant.get(tenant):
+            print(f"EXPECTED NO ALERTS for tenant {tenant!r}, got "
+                  f"{by_tenant[tenant]}", file=sys.stderr)
+            rc = 1
+    return rc
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     import json
 
@@ -676,7 +824,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             analysis_interval=args.interval,
             analyses=tuple(args.analyses) if args.analyses else
             ("VIS_HYBRID", "TOPO_HYBRID", "STATS_HYBRID"),
-            n_shards=args.shards, submit_at=args.submit_at)
+            n_shards=args.shards, submit_at=args.submit_at,
+            lease_timeout=args.lease_timeout,
+            fault_seed=args.fault_seed,
+            crash_times=tuple(args.crash_times),
+            pull_failure_rate=args.pull_failure_rate,
+            pull_stall_rate=args.stall_rate,
+            pull_stall_seconds=args.stall_seconds)
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
     path = Path(args.jobs)
@@ -919,6 +1073,64 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit 1 unless admission control held at least "
                         "one job (quota-enforcement smoke check)")
 
+    p = sub.add_parser("top", help="live view of a draining campaign batch "
+                                   "(telemetry bus + burn-rate alerts)")
+    p.add_argument("--jobs", required=True,
+                   help="JSONL batch file (one job spec per line; "
+                        '{"quota": {...}} lines set tenant quotas)')
+    p.add_argument("--workers", type=int, default=2,
+                   help="DES worker pool size (default: 2)")
+    p.add_argument("--quota", action="append", default=[],
+                   metavar="TENANT=N",
+                   help="max concurrent jobs for a tenant (repeatable)")
+    p.add_argument("--default-quota", type=int, default=2,
+                   help="max concurrent jobs for tenants without an "
+                        "explicit quota (default: 2)")
+    p.add_argument("--out-dir", default="repro_out",
+                   help="artifact directory (default: repro_out/)")
+    p.add_argument("--state-dir", default=None,
+                   help="persist the schedule cache here (default: "
+                        "in-memory, so same-seed reruns replay "
+                        "identically)")
+    p.add_argument("--follow", action="store_true",
+                   help="stream while the batch drains (frames, or "
+                        "events with --jsonl) instead of only the final "
+                        "state")
+    p.add_argument("--jsonl", action="store_true",
+                   help="emit bus events as JSON lines (one per event) "
+                        "plus a final summary line, for collectors")
+    p.add_argument("--once", action="store_true",
+                   help="do not pace frames against the wall clock "
+                        "(CI/smoke mode: drain at machine speed)")
+    p.add_argument("--refresh", type=float, default=1.0,
+                   help="wall seconds between frames with --follow "
+                        "(default: 1.0)")
+    p.add_argument("--slice", type=float, default=60.0,
+                   help="service-clock seconds advanced per frame "
+                        "(default: 60)")
+    p.add_argument("--out", default=None,
+                   help="also tee the event stream to this JSONL file "
+                        "(relative paths land under --out-dir)")
+    p.add_argument("--capacity", type=int, default=65536,
+                   help="telemetry-bus ring capacity (default: 65536)")
+    p.add_argument("--probe-interval", type=float, default=5.0,
+                   help="probe sampling period inside each replay, in "
+                        "simulated seconds (default: 5)")
+    p.add_argument("--queue-wait-slo", type=float, default=90.0,
+                   help="queue-wait SLO target in service seconds "
+                        "(default: 90)")
+    p.add_argument("--slowdown-slo", type=float, default=3.5,
+                   help="makespan-slowdown SLO target vs pure simulation "
+                        "time (default: 3.5)")
+    p.add_argument("--expect-alerts", action="append", default=[],
+                   metavar="TENANT",
+                   help="exit 1 unless this tenant raised >= 1 burn-rate "
+                        "alert (repeatable; smoke-test gate)")
+    p.add_argument("--expect-clean", action="append", default=[],
+                   metavar="TENANT",
+                   help="exit 1 if this tenant raised any alert "
+                        "(repeatable; smoke-test gate)")
+
     p = sub.add_parser("submit", help="append one job to a JSONL batch file")
     p.add_argument("--jobs", required=True,
                    help="JSONL batch file to append to (created if missing)")
@@ -939,6 +1151,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="DataSpaces shards for this job's staging area")
     p.add_argument("--submit-at", type=float, default=0.0,
                    help="service-clock submission time (default: 0)")
+    p.add_argument("--lease-timeout", type=float, default=None,
+                   help="scheduler lease timeout for the replay "
+                        "(required with --crash-times)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for this job's fault-injection plan")
+    p.add_argument("--crash-times", type=float, nargs="*", default=[],
+                   help="bucket crash instants in the replay "
+                        "(simulated seconds)")
+    p.add_argument("--pull-failure-rate", type=float, default=0.0,
+                   help="probability one RDMA pull attempt fails")
+    p.add_argument("--stall-rate", type=float, default=0.0,
+                   help="probability one RDMA pull attempt stalls")
+    p.add_argument("--stall-seconds", type=float, default=0.0,
+                   help="wire seconds each stalled pull loses")
 
     p = sub.add_parser("jobs", help="list completed service job records")
     p.add_argument("--out-dir", default="repro_out",
@@ -966,6 +1192,7 @@ _COMMANDS = {
     "control": _cmd_control,
     "perf": _cmd_perf,
     "serve": _cmd_serve,
+    "top": _cmd_top,
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
 }

@@ -395,6 +395,15 @@ class PlacementController:
             tracer.instant("controller.decision", lane="controller",
                            kind=kind, subject=subject, before=before,
                            after=after, window=sig.window)
+            if tracer.bus is not None:
+                ctx = tracer.context_tags()
+                tracer.bus.publish(
+                    "decision", f"controller.{kind}", t=sig.t_end,
+                    lane="controller", tenant=ctx.get("tenant"),
+                    job_id=ctx.get("job"), subject=subject, before=before,
+                    after=after, window=sig.window,
+                    message=f"{kind} {subject}: {before} -> {after} "
+                            f"({reason})")
 
     def _mirror_metrics(self, sig: WindowSignals) -> None:
         tracer = get_tracer()

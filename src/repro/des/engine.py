@@ -236,6 +236,21 @@ class Engine:
         """
         self._probe = sampler
 
+    def idle(self) -> bool:
+        """True once no event remains (``run`` would return immediately).
+
+        Live viewers (``repro top``) drive the engine in bounded slices
+        — ``run(until=...)`` — and use this to know when the batch has
+        fully drained.
+        """
+        return self._queue.next_time() is None
+
+    def next_event_time(self) -> float | None:
+        """Earliest pending timestamp (None when idle). ``run(until=
+        next_event_time())`` processes exactly that timestamp's events
+        and leaves the clock there — no overshoot past the drain."""
+        return self._queue.next_time()
+
     # -- scheduling primitives ----------------------------------------------
 
     def _schedule(self, delay: float, fn: Callable[[Any], None], arg: Any) -> None:

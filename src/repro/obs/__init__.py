@@ -23,6 +23,10 @@ The observability subsystem for the hybrid pipeline:
   :class:`Baseline`, :class:`ProbeSampler` live DES-clock probes with SLO
   rules, and :func:`write_dashboard` self-contained HTML reports
   (``python -m repro perf record|compare|report``).
+* Live plane — :class:`TelemetryBus` streaming spans/probes/alerts/job
+  events in DES time with per-tenant attribution, :class:`BurnRateMonitor`
+  rolling SLO burn-rate alerting, and the ``repro top`` live service
+  view (``python -m repro top``).
 
 Typical use::
 
@@ -74,6 +78,17 @@ from repro.obs.flow import (
     EDGE_KINDS,
     FlowContext,
     FlowHop,
+)
+from repro.obs.live import (
+    Alert,
+    BurnRateMonitor,
+    BusEvent,
+    BusSubscriber,
+    SloObjective,
+    TelemetryBus,
+    default_objectives,
+    event_to_json,
+    render_top,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.perf import (
@@ -148,6 +163,15 @@ __all__ = [
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",
+    "Alert",
+    "BurnRateMonitor",
+    "BusEvent",
+    "BusSubscriber",
+    "SloObjective",
+    "TelemetryBus",
+    "default_objectives",
+    "event_to_json",
+    "render_top",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,455 @@
+"""`repro.obs.live` — the streaming telemetry plane.
+
+Everything else in :mod:`repro.obs` is post-hoc: traces, metrics and
+blame reports only exist once a replay has drained. This module turns the
+same probe/metric/flow machinery into a *live*, per-tenant ops surface:
+
+* :class:`TelemetryBus` — an in-process bounded ring of
+  :class:`BusEvent` records with subscriber cursors and drop-counting
+  backpressure. Tracer spans (on close), instants, probe samples, SLO
+  alerts, controller decisions and service job-lifecycle transitions
+  publish onto the bus *as they happen in DES time*. The bus attaches to
+  a recording :class:`~repro.obs.tracer.Tracer`
+  (``tracer.attach_bus(bus)``); under the shared
+  :data:`~repro.obs.tracer.NULL_TRACER` every publish site compiles out
+  to the existing ``tracer.enabled`` check, so the <5% disabled-tracer
+  overhead guard is untouched.
+* :class:`SloObjective` + :class:`BurnRateMonitor` — tenant-scoped SLO
+  objectives with rolling burn-rate evaluation over fast and slow
+  windows (the multi-window SRE pattern): an observation is *bad* when
+  it exceeds the objective's target, the burn rate is the bad fraction
+  over the window divided by the error budget, and a structured
+  :class:`Alert` fires when both windows burn too hot. A sustained
+  violation is one alert until the objective recovers, replacing the
+  fire-once ``slo.breach`` instants as the alerting surface.
+* :func:`render_top` — the refreshing text frame behind ``repro top``:
+  per-tenant queue depth, cache hit rate, worker occupancy, active
+  alerts and a controller-decision ticker over a draining
+  :class:`~repro.service.api.CampaignService`.
+
+Determinism contract: bus events carry only DES-clock timestamps and
+DES-derived payloads — no wall time, no host state — so the JSONL stream
+of a same-seed campaign is byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+__all__ = [
+    "Alert",
+    "BusEvent",
+    "BusSubscriber",
+    "BurnRateMonitor",
+    "SloObjective",
+    "TelemetryBus",
+    "default_objectives",
+    "event_to_json",
+    "render_top",
+]
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.api import CampaignService
+
+#: Canonical event kinds (the ``kind`` field of every :class:`BusEvent`).
+KIND_SPAN = "span"
+KIND_INSTANT = "instant"
+KIND_PROBE = "probe"
+KIND_ALERT = "alert"
+KIND_JOB = "job"
+KIND_DECISION = "decision"
+
+
+@dataclass(frozen=True)
+class BusEvent:
+    """One telemetry event on the bus (immutable once published).
+
+    ``t`` is the publishing clock's time: service-engine seconds for
+    service-layer events, job-local replay seconds for events published
+    inside an inner replay engine. ``tenant``/``job_id`` attribute the
+    event to its tenant — propagated through the two-level DES by the
+    tracer's ambient context (see :meth:`Tracer.context
+    <repro.obs.tracer.Tracer.context>`).
+    """
+
+    seq: int
+    t: float
+    kind: str
+    name: str
+    lane: str
+    tenant: str | None
+    job_id: str | None
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"seq": self.seq, "t": self.t, "kind": self.kind,
+                "name": self.name, "lane": self.lane, "tenant": self.tenant,
+                "job_id": self.job_id, "data": self.data}
+
+
+def event_to_json(event: BusEvent) -> str:
+    """One canonical JSONL line for an event (sorted keys, ``str``
+    fallback for non-JSON payload values — byte-stable across runs)."""
+    return json.dumps(event.to_dict(), sort_keys=True, default=str,
+                      separators=(",", ":"))
+
+
+class BusSubscriber:
+    """A cursor over the bus. Falling behind the ring loses the oldest
+    events — :attr:`dropped` counts them; the cursor never goes
+    backwards."""
+
+    __slots__ = ("bus", "name", "cursor", "dropped")
+
+    def __init__(self, bus: "TelemetryBus", name: str) -> None:
+        self.bus = bus
+        self.name = name
+        #: Next sequence number this subscriber will read.
+        self.cursor = bus.start_seq
+        #: Events this subscriber lost to ring overflow.
+        self.dropped = 0
+
+    def poll(self, max_events: int | None = None) -> list[BusEvent]:
+        """Events published since the last poll (oldest first).
+
+        If the ring overflowed past the cursor, the lost events are
+        added to :attr:`dropped` and the cursor jumps forward to the
+        oldest retained event — it never moves backwards.
+        """
+        bus = self.bus
+        if self.cursor < bus.start_seq:
+            self.dropped += bus.start_seq - self.cursor
+            self.cursor = bus.start_seq
+        lo = self.cursor - bus.start_seq
+        events = list(bus.ring)[lo:]
+        if max_events is not None and len(events) > max_events:
+            events = events[:max_events]
+        self.cursor += len(events)
+        return events
+
+    @property
+    def pending(self) -> int:
+        """Events currently waiting between cursor and head (overflow
+        losses not included)."""
+        return self.bus.published - max(self.cursor, self.bus.start_seq)
+
+
+class TelemetryBus:
+    """Bounded in-process event ring with independent subscriber cursors.
+
+    ``publish`` is an O(1) append; once ``capacity`` events are retained
+    the oldest is evicted (``dropped_total`` counts evictions — the
+    backpressure signal). Subscribers each hold their own cursor and
+    observe their personal losses via :attr:`BusSubscriber.dropped`.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.ring: deque[BusEvent] = deque()
+        #: Total events ever published (the next event's seq).
+        self.published = 0
+        #: Sequence number of the oldest retained event.
+        self.start_seq = 0
+        #: Events evicted from the ring (ring overflow backpressure).
+        self.dropped_total = 0
+        self.subscribers: list[BusSubscriber] = []
+
+    def publish(self, kind: str, name: str, *, t: float, lane: str = "bus",
+                tenant: str | None = None, job_id: str | None = None,
+                **data: Any) -> BusEvent:
+        event = BusEvent(seq=self.published, t=t, kind=kind, name=name,
+                         lane=lane, tenant=tenant, job_id=job_id, data=data)
+        self.ring.append(event)
+        self.published += 1
+        if len(self.ring) > self.capacity:
+            self.ring.popleft()
+            self.start_seq += 1
+            self.dropped_total += 1
+        return event
+
+    def subscribe(self, name: str = "subscriber") -> BusSubscriber:
+        sub = BusSubscriber(self, name)
+        self.subscribers.append(sub)
+        return sub
+
+    def __len__(self) -> int:
+        return len(self.ring)
+
+
+# ---------------------------------------------------------------------------
+# SLO objectives and rolling burn-rate evaluation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """A tenant-scoped service-level objective with an error budget.
+
+    An observation of ``metric`` is *good* iff ``value <= target``. The
+    burn rate over a window is ``bad_fraction / budget`` — burn 1.0
+    consumes the budget exactly at the sustainable rate; burn N eats it
+    N times too fast. An :class:`Alert` fires when the fast window burns
+    at ``>= fast_burn`` *and* the slow window at ``>= slow_burn``
+    (the fast window catches the onset, the slow window keeps one
+    recovered blip from re-paging).
+    """
+
+    name: str
+    #: Observation stream this objective judges (``queue_wait_s``,
+    #: ``makespan_slowdown``, or any published metric name).
+    metric: str
+    #: Good iff observation <= target.
+    target: float
+    #: Allowed bad fraction of observations (the error budget).
+    budget: float = 0.25
+    #: Rolling windows, in seconds of the observing clock.
+    fast_window: float = 300.0
+    slow_window: float = 1200.0
+    #: Burn-rate thresholds per window.
+    fast_burn: float = 2.0
+    slow_burn: float = 1.0
+    severity: str = "page"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.budget <= 1.0:
+            raise ValueError(f"budget must be in (0, 1], got {self.budget}")
+        if self.fast_window <= 0 or self.slow_window <= 0:
+            raise ValueError("windows must be > 0")
+        if self.fast_window > self.slow_window:
+            raise ValueError(
+                f"fast_window ({self.fast_window}) must not exceed "
+                f"slow_window ({self.slow_window})")
+        if self.fast_burn <= 0 or self.slow_burn <= 0:
+            raise ValueError("burn thresholds must be > 0")
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "metric": self.metric,
+                "target": self.target, "budget": self.budget,
+                "fast_window": self.fast_window,
+                "slow_window": self.slow_window,
+                "fast_burn": self.fast_burn, "slow_burn": self.slow_burn,
+                "severity": self.severity}
+
+
+def default_objectives(queue_wait_target: float = 90.0,
+                       slowdown_target: float = 3.5
+                       ) -> tuple[SloObjective, ...]:
+    """The default tenant objectives for the campaign service.
+
+    * ``queue-wait`` — a tenant's jobs dispatch within
+      ``queue_wait_target`` service seconds of enqueue (worker-contention
+      QoS);
+    * ``makespan-slowdown`` — a job's replay makespan stays under
+      ``slowdown_target``x its pure-simulation time
+      (``n_steps * sim_step_time``); fault-driven retries, stalls and
+      lease recoveries push it past the target.
+    """
+    return (
+        SloObjective(name="queue-wait", metric="queue_wait_s",
+                     target=queue_wait_target),
+        SloObjective(name="makespan-slowdown", metric="makespan_slowdown",
+                     target=slowdown_target),
+    )
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One burn-rate alert (structured; published as a bus event)."""
+
+    tenant: str
+    objective: str
+    metric: str
+    severity: str
+    t: float
+    value: float
+    target: float
+    burn_fast: float
+    burn_slow: float
+    job_id: str | None = None
+    message: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"tenant": self.tenant, "objective": self.objective,
+                "metric": self.metric, "severity": self.severity,
+                "t": self.t, "value": self.value, "target": self.target,
+                "burn_fast": self.burn_fast, "burn_slow": self.burn_slow,
+                "job_id": self.job_id, "message": self.message}
+
+
+class BurnRateMonitor:
+    """Rolling per-tenant burn-rate evaluation over SLO objectives.
+
+    Feed it observations with :meth:`observe`; it keeps one
+    ``(t, value)`` window per (tenant, objective), evaluates both burn
+    windows on every observation, and fires a structured :class:`Alert`
+    on the healthy->unhealthy transition only — a sustained violation is
+    one alert, and the objective must recover (both windows below their
+    thresholds) before it can page again. Alerts are appended to
+    :attr:`alerts`, published on ``bus`` (kind ``alert``) when one is
+    given, and mirrored as ``slo.burn`` tracer instants.
+    """
+
+    def __init__(self, objectives: tuple[SloObjective, ...] | None = None,
+                 bus: TelemetryBus | None = None,
+                 tracer: Any = None) -> None:
+        self.objectives = tuple(objectives if objectives is not None
+                                else default_objectives())
+        self.bus = bus
+        self.tracer = tracer
+        self.alerts: list[Alert] = []
+        self._samples: dict[tuple[str, str], deque[tuple[float, bool]]] = {}
+        self._firing: dict[tuple[str, str], Alert] = {}
+        self._by_metric: dict[str, list[SloObjective]] = {}
+        for obj in self.objectives:
+            self._by_metric.setdefault(obj.metric, []).append(obj)
+
+    # -- feeding -------------------------------------------------------------
+
+    def observe(self, tenant: str, metric: str, t: float, value: float,
+                job_id: str | None = None) -> list[Alert]:
+        """Record one observation; returns any alerts it fired."""
+        fired: list[Alert] = []
+        for obj in self._by_metric.get(metric, ()):
+            key = (tenant, obj.name)
+            window = self._samples.setdefault(key, deque())
+            window.append((t, value > obj.target))
+            while window and window[0][0] < t - obj.slow_window:
+                window.popleft()
+            burn_fast = self._burn(window, t - obj.fast_window, obj.budget)
+            burn_slow = self._burn(window, t - obj.slow_window, obj.budget)
+            unhealthy = (burn_fast >= obj.fast_burn
+                         and burn_slow >= obj.slow_burn)
+            if unhealthy and key not in self._firing:
+                alert = Alert(
+                    tenant=tenant, objective=obj.name, metric=metric,
+                    severity=obj.severity, t=t, value=value,
+                    target=obj.target, burn_fast=burn_fast,
+                    burn_slow=burn_slow, job_id=job_id,
+                    message=(f"{tenant}: {obj.name} burning at "
+                             f"{burn_fast:.1f}x/{burn_slow:.1f}x budget "
+                             f"({metric}={value:.3f} > {obj.target:.3f})"))
+                self._firing[key] = alert
+                self.alerts.append(alert)
+                fired.append(alert)
+                self._emit(alert)
+            elif not unhealthy and key in self._firing:
+                del self._firing[key]
+        return fired
+
+    @staticmethod
+    def _burn(window: deque[tuple[float, bool]], cutoff: float,
+              budget: float) -> float:
+        total = bad = 0
+        for t, is_bad in window:
+            if t >= cutoff:
+                total += 1
+                bad += is_bad
+        return (bad / total) / budget if total else 0.0
+
+    def _emit(self, alert: Alert) -> None:
+        bus = self.bus
+        tracer = self.tracer
+        if bus is None and tracer is not None:
+            bus = getattr(tracer, "bus", None)
+        if bus is not None:
+            bus.publish(KIND_ALERT, alert.objective, t=alert.t, lane="slo",
+                        tenant=alert.tenant, job_id=alert.job_id,
+                        **{k: v for k, v in alert.to_dict().items()
+                           if k not in ("tenant", "job_id", "objective", "t")})
+        if tracer is not None and tracer.enabled:
+            tracer.instant("slo.burn", lane="slo", tenant=alert.tenant,
+                           job=alert.job_id, objective=alert.objective,
+                           value=alert.value, target=alert.target,
+                           burn_fast=alert.burn_fast)
+
+    # -- querying ------------------------------------------------------------
+
+    def active(self, tenant: str | None = None) -> list[Alert]:
+        """Alerts currently firing (unhealthy and not yet recovered)."""
+        alerts = [a for key, a in sorted(self._firing.items())]
+        if tenant is not None:
+            alerts = [a for a in alerts if a.tenant == tenant]
+        return alerts
+
+    def alerts_for(self, tenant: str) -> list[Alert]:
+        return [a for a in self.alerts if a.tenant == tenant]
+
+
+# ---------------------------------------------------------------------------
+# The `repro top` frame renderer
+# ---------------------------------------------------------------------------
+
+
+def render_top(service: "CampaignService", bus: TelemetryBus | None = None,
+               monitor: BurnRateMonitor | None = None,
+               ticker: int = 5) -> str:
+    """One refreshing text frame of a draining campaign service.
+
+    Reads live state only — the service engine is not advanced. Shows
+    per-tenant queue depth / running / done / cache hit rate / active
+    alerts, the worker pool and bus occupancy, shard balance when any
+    job ran sharded, and a ticker of the most recent controller
+    decisions and alerts.
+    """
+    from repro.service.queue import JobState
+
+    monitor = monitor if monitor is not None else service.monitor
+    tenants = sorted({j.tenant for j in service.jobs})
+    lines: list[str] = []
+    pool = service.pool
+    lines.append(
+        f"repro top — t={service.engine.now:.3f}s service time, "
+        f"{len(service.jobs)} job(s), workers "
+        f"{pool.n_workers - pool.idle_count()}/{pool.n_workers} busy")
+    if bus is not None:
+        lines.append(
+            f"bus: {bus.published} events published, {len(bus.ring)} "
+            f"retained, {bus.dropped_total} dropped "
+            f"({len(bus.subscribers)} subscriber(s))")
+    header = (f"{'tenant':<12} {'queued':>6} {'run':>4} {'done':>4} "
+              f"{'fail':>4} {'held':>4} {'hit%':>5} {'maxwait':>8} "
+              f"{'alerts':>6}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for tenant in tenants:
+        jobs = [j for j in service.jobs if j.tenant == tenant]
+        done = [j for j in jobs if j.state is JobState.DONE]
+        running = sum(j.state is JobState.RUNNING for j in jobs)
+        failed = sum(j.state is JobState.FAILED for j in jobs)
+        held = sum(j.held for j in jobs)
+        hits = sum(j.cache_hit for j in done)
+        hit_pct = f"{100.0 * hits / len(done):.0f}" if done else "-"
+        max_wait = max((j.queue_wait or 0.0 for j in done), default=0.0)
+        active = len(monitor.active(tenant)) if monitor is not None else 0
+        lines.append(
+            f"{tenant:<12} {service.queue.pending_for(tenant):>6} "
+            f"{running:>4} {len(done):>4} {failed:>4} {held:>4} "
+            f"{hit_pct:>5} {max_wait:>8.2f} {active:>6}")
+    balances = [j.result.shard_balance for j in service.jobs
+                if j.result is not None and j.result.shard_balance is not None]
+    if balances:
+        from repro.service.shards import ShardBalanceReport
+        bal = ShardBalanceReport.merge(balances)
+        lines.append(f"shards: {bal.n_shards} shard(s), imbalance "
+                     f"{bal.imbalance('tasks'):.2f}x tasks / "
+                     f"{bal.imbalance('bytes'):.2f}x bytes")
+    if monitor is not None and monitor.active():
+        lines.append("active alerts:")
+        for alert in monitor.active():
+            lines.append(f"  [{alert.severity}] {alert.message}")
+    if bus is not None and ticker > 0:
+        recent = [e for e in bus.ring
+                  if e.kind in (KIND_DECISION, KIND_ALERT)][-ticker:]
+        if recent:
+            lines.append("ticker (decisions & alerts):")
+            for e in recent:
+                who = e.tenant or "-"
+                lines.append(f"  #{e.seq} t={e.t:.2f} {e.kind}: {e.name} "
+                             f"[{who}] {e.data.get('message', '') or ''}"
+                             .rstrip())
+    return "\n".join(lines)

@@ -166,6 +166,9 @@ class ProbeSampler:
         self.max_samples = max_samples
         self._next = start
         self._breached: set[str] = set()
+        #: (rule id, instant) pairs already alerted — a sampled rule and
+        #: a summary rule sharing a name must not double-fire one window.
+        self._alerted: set[tuple[str, float]] = set()
         self._sampled_rules = [r for r in self.rules
                                if isinstance(r, SloRule)]
         self._summary_rules = [r for r in self.rules
@@ -192,10 +195,16 @@ class ProbeSampler:
                 (name, fn, self.series[name], metrics.gauge("probe." + name))
                 for name, fn in self.probes.items()]
         check_rules = bool(self._sampled_rules)
+        bus = getattr(self.tracer, "bus", None)
+        ctx = self.tracer.context_tags() if bus is not None else {}
         values: dict[str, float] = {}
         for name, fn, series, _gauge in rows:
             value = fn()
             series.append((t, value))
+            if bus is not None:
+                bus.publish("probe", name, t=t, lane="probe",
+                            tenant=ctx.get("tenant"), job_id=ctx.get("job"),
+                            value=value)
             if check_rules:
                 values[name] = value
         for rule in self._sampled_rules:
@@ -240,6 +249,12 @@ class ProbeSampler:
 
     def _alert(self, rule: str, t: float, value: float, threshold: float,
                message: str) -> None:
+        key = (rule, t)
+        if key in self._alerted:
+            # A sampled and a summary rule with the same id judging the
+            # same window alert once, not once per rule kind.
+            return
+        self._alerted.add(key)
         self.alerts.append(SloAlert(rule=rule, t=t, value=value,
                                     threshold=threshold, message=message))
         if self.tracer.enabled:

@@ -203,6 +203,12 @@ class Tracer:
         self._stacks: dict[str, list[SpanRecord]] = {}
         self._ids = itertools.count(1)
         self._flow_ids = itertools.count(1)
+        #: Live telemetry bus (:class:`repro.obs.live.TelemetryBus`), or
+        #: None — every publish site is behind an ``is not None`` check.
+        self.bus: Any = None
+        #: Ambient tags (tenant/job ids) merged into every span/instant
+        #: opened while a :meth:`context` block is active.
+        self._ctx: dict[str, Any] = {}
 
     # -- clocks --------------------------------------------------------------
 
@@ -218,6 +224,44 @@ class Tracer:
         from its constructor when tracing is enabled; last engine wins)."""
         self.attach_clock(lambda: engine.now)
 
+    # -- live bus & ambient context ------------------------------------------
+
+    def attach_bus(self, bus: Any) -> Any:
+        """Stream closed spans and instants onto a live
+        :class:`~repro.obs.live.TelemetryBus` (pass None to detach)."""
+        self.bus = bus
+        return bus
+
+    @contextmanager
+    def context(self, **tags: Any) -> Iterator[dict[str, Any]]:
+        """Merge ``tags`` into the ambient context for the block.
+
+        Every span, instant and bus event recorded inside the block
+        carries these tags — this is how tenant/job attribution crosses
+        the two-level DES boundary (the service engine opens the context,
+        and everything the inner replay engine records inherits it).
+        None-valued tags are skipped; inner contexts shadow outer ones
+        and the previous context is restored on exit.
+        """
+        previous = self._ctx
+        merged = dict(previous)
+        merged.update((k, v) for k, v in tags.items() if v is not None)
+        self._ctx = merged
+        try:
+            yield merged
+        finally:
+            self._ctx = previous
+
+    def context_tags(self) -> dict[str, Any]:
+        """A copy of the ambient context tags currently in effect."""
+        return dict(self._ctx)
+
+    def _publish(self, kind: str, name: str, lane: str, t: float,
+                 tags: dict[str, Any], data: dict[str, Any]) -> None:
+        self.bus.publish(kind, name, t=t, lane=lane,
+                         tenant=tags.get("tenant"), job_id=tags.get("job"),
+                         **data)
+
     # -- spans ---------------------------------------------------------------
 
     def begin(self, name: str, lane: str = "main",
@@ -225,6 +269,8 @@ class Tracer:
         """Open a span on ``lane``; the open span below it (if any) becomes
         its parent. Close it with :meth:`end` (LIFO order not required)."""
         stack = self._stacks.setdefault(lane, [])
+        if self._ctx:
+            tags = {**self._ctx, **tags}
         rec = SpanRecord(
             name=name, lane=lane, span_id=next(self._ids),
             parent_id=stack[-1].span_id if stack else None,
@@ -245,6 +291,12 @@ class Tracer:
         if stack and span in stack:
             stack.remove(span)
         self.trace.version += 1
+        if self.bus is not None:
+            self._publish("span", span.name, span.lane, span.t_end, span.tags,
+                          {"t_start": span.t_start,
+                           "duration": span.duration,
+                           "stage": span.tags.get("stage"),
+                           "category": span.category})
         return span
 
     @contextmanager
@@ -264,6 +316,8 @@ class Tracer:
         if t_end < t_start:
             raise ValueError(f"span ends ({t_end}) before it starts "
                              f"({t_start})")
+        if self._ctx:
+            tags = {**self._ctx, **tags}
         wall = time.perf_counter()
         rec = SpanRecord(name=name, lane=lane, span_id=next(self._ids),
                          parent_id=parent_id, t_start=t_start,
@@ -271,6 +325,10 @@ class Tracer:
                          t_end=t_end, wall_end=wall)
         self.trace.spans.append(rec)
         self.trace.version += 1
+        if self.bus is not None:
+            self._publish("span", name, lane, t_end, tags,
+                          {"t_start": t_start, "duration": t_end - t_start,
+                           "stage": tags.get("stage"), "category": category})
         return rec
 
     # -- causal flows --------------------------------------------------------
@@ -343,9 +401,15 @@ class Tracer:
 
     def instant(self, name: str, lane: str = "main", **tags: Any
                 ) -> InstantRecord:
+        if self._ctx:
+            tags = {**self._ctx, **tags}
         rec = InstantRecord(name=name, lane=lane, t=self.now(),
                             wall_t=time.perf_counter(), tags=tags)
         self.trace.instants.append(rec)
+        if self.bus is not None:
+            data = {k: v for k, v in tags.items()
+                    if k not in ("tenant", "job")}
+            self._publish("instant", name, lane, rec.t, tags, data)
         return rec
 
     def counter(self, name: str, delta: float = 1) -> None:
@@ -398,6 +462,9 @@ class NullTracer:
 
     enabled = False
     metrics = NULL_METRICS
+    #: No bus under the null tracer: every publish site checks
+    #: ``bus is not None`` (or ``enabled``) and compiles out.
+    bus = None
 
     @property
     def trace(self) -> Trace:
@@ -411,6 +478,15 @@ class NullTracer:
 
     def attach_engine(self, engine: Any) -> None:
         pass
+
+    def attach_bus(self, bus: Any) -> None:
+        return None
+
+    def context(self, **tags: Any) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def context_tags(self) -> dict[str, Any]:
+        return {}
 
     def begin(self, name: str, lane: str = "main",
               category: str | None = None, **tags: Any) -> _NullSpan:

@@ -28,6 +28,12 @@ from typing import Any
 from repro.core.runner import ScaledExperiment, ScheduleResult
 from repro.des import Engine
 from repro.machine.specs import MachineSpec
+from repro.obs.live import (
+    Alert,
+    BurnRateMonitor,
+    SloObjective,
+    TelemetryBus,
+)
 from repro.obs.perf import RunRecord, RunStore, machine_fingerprint
 from repro.obs.tracer import get_tracer
 from repro.service.cache import ScheduleCache, schedule_cache_key
@@ -43,9 +49,13 @@ class JobExecutor:
     """Runs one job: schedule-cache lookup, else a full DES replay."""
 
     def __init__(self, cache: ScheduleCache,
-                 machine: MachineSpec | None = None) -> None:
+                 machine: MachineSpec | None = None,
+                 probe_interval: float | None = None) -> None:
         self.cache = cache
         self.machine = machine
+        #: Probe sampling period for executed replays. Deliberately NOT
+        #: part of the cache key: sampling never changes the schedule.
+        self.probe_interval = probe_interval
 
     def _experiment(self, spec: JobSpec) -> ScaledExperiment:
         return ScaledExperiment(spec.experiment_config(),
@@ -77,12 +87,28 @@ class JobExecutor:
             analyses=spec.variants(),
             n_buckets=spec.n_buckets,
             analysis_interval=spec.analysis_interval,
+            probe_interval=self.probe_interval,
             n_shards=spec.n_shards,
             lease_timeout=spec.lease_timeout,
             bucket_restart_delay=spec.bucket_restart_delay,
-            max_bucket_restarts=spec.max_bucket_restarts)
+            max_bucket_restarts=spec.max_bucket_restarts,
+            fault_config=spec.fault_config())
         self.cache.insert(key, sched, meta={"config": spec.config})
         return sched, False
+
+
+def _percentiles(values: list[float],
+                 points: tuple[int, ...] = (50, 95, 99)) -> dict[str, float]:
+    """Nearest-rank percentiles (the :class:`Histogram` convention),
+    defined for any n >= 1 — a one-job tenant reports p50=p95=p99."""
+    if not values:
+        return {}
+    ordered = sorted(values)
+    out: dict[str, float] = {}
+    for p in points:
+        rank = max(0, min(len(ordered) - 1, round(p / 100 * (len(ordered) - 1))))
+        out[f"p{p}"] = ordered[rank]
+    return out
 
 
 @dataclass
@@ -101,6 +127,10 @@ class TenantReport:
     max_queue_wait: float = 0.0
     makespan_total: float = 0.0
     bytes_pulled: int = 0
+    #: Per-job dispatch waits (feeds the percentile summary).
+    queue_waits: list[float] = field(default_factory=list)
+    #: Burn-rate alerts attributed to this tenant during the batch.
+    alerts: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -111,6 +141,10 @@ class TenantReport:
             "max_queue_wait": self.max_queue_wait,
             "makespan_total": self.makespan_total,
             "bytes_pulled": self.bytes_pulled,
+            # Defined for every tenant that completed >= 1 job (a
+            # single-job tenant reports p50=p95=p99), not only n > 1.
+            "service.queue_wait_s": _percentiles(self.queue_waits),
+            "alerts": self.alerts,
         }
 
 
@@ -126,6 +160,8 @@ class ServiceReport:
     held_events: int
     shard_balance: ShardBalanceReport | None = None
     quotas: dict[str, TenantQuota] = field(default_factory=dict)
+    #: Burn-rate alerts raised while the batch drained (fire order).
+    alerts: list[Alert] = field(default_factory=list)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -149,6 +185,7 @@ class ServiceReport:
             "shard_balance": (self.shard_balance.to_dict()
                               if self.shard_balance is not None else None),
             "quotas": {t: q.to_dict() for t, q in sorted(self.quotas.items())},
+            "alerts": [a.to_dict() for a in self.alerts],
         }
 
     def table(self) -> str:
@@ -178,13 +215,24 @@ class CampaignService:
                  default_quota: TenantQuota | None = None,
                  cache: ScheduleCache | RunStore | str | Path | None = None,
                  jobs_store: RunStore | str | Path | None = None,
-                 machine: MachineSpec | None = None) -> None:
+                 machine: MachineSpec | None = None,
+                 bus: TelemetryBus | None = None,
+                 objectives: tuple[SloObjective, ...] | None = None,
+                 probe_interval: float | None = None) -> None:
         self.engine = Engine()
         self.queue = JobQueue()
         self.quota = QuotaManager(quotas, default=default_quota)
         self.cache = (cache if isinstance(cache, ScheduleCache)
                       else ScheduleCache(cache))
-        self.executor = JobExecutor(self.cache, machine=machine)
+        self.executor = JobExecutor(self.cache, machine=machine,
+                                    probe_interval=probe_interval)
+        #: Live telemetry plane: the bus carries job/span/probe/alert
+        #: events; the monitor turns queue-wait and makespan-slowdown
+        #: observations into per-tenant burn-rate alerts. Both exist
+        #: even without a bus so `repro top` always has live state.
+        self.bus = bus
+        self.monitor = BurnRateMonitor(objectives, bus=bus,
+                                       tracer=get_tracer())
         if jobs_store is not None and not isinstance(jobs_store, RunStore):
             jobs_store = RunStore(jobs_store)
         self.jobs_store = jobs_store
@@ -198,6 +246,12 @@ class CampaignService:
         #: warmed by earlier services; these count only this batch).
         self.cache_hits = 0
         self.cache_misses = 0
+        # Attach the bus last: worker process.start instants fire during
+        # pool construction and are service plumbing, not tenant events —
+        # everything published from here on is job-attributable.
+        tracer = get_tracer()
+        if bus is not None and tracer.enabled:
+            tracer.attach_bus(bus)
 
     # -- submission ----------------------------------------------------------
 
@@ -213,14 +267,29 @@ class CampaignService:
     def _enqueue(self, job: Job) -> None:
         job.submit_t = self.engine.now
         self.queue.push(job)
+        self._publish("job.queued", job,
+                      queue_depth=self.queue.pending_for(job.tenant))
         self._pump()
+
+    # -- live telemetry ------------------------------------------------------
+
+    def _publish(self, name: str, job: Job, **data: Any) -> None:
+        """One job-lifecycle event on the bus (service clock, tenant-tagged)."""
+        if self.bus is not None:
+            self.bus.publish("job", name, t=self.engine.now, lane="service",
+                             tenant=job.tenant, job_id=job.job_id, **data)
 
     # -- scheduling ----------------------------------------------------------
 
     def _admit(self, job: Job) -> Denial | None:
         if job.demand is None:
             job.demand = self.executor.demand(job.spec)
-        return self.quota.check(job.tenant, job.demand)
+        denial = self.quota.check(job.tenant, job.demand)
+        if denial is not None:
+            name = ("job.failed" if getattr(denial, "permanent", False)
+                    else "job.held")
+            self._publish(name, job, reason=denial.reason)
+        return denial
 
     def _next_job(self) -> Job | None:
         job = self.queue.pop_runnable(self._admit)
@@ -239,15 +308,28 @@ class CampaignService:
         job.state = JobState.RUNNING
         job.worker = worker
         job.start_t = self.engine.now
-        metrics = get_tracer().metrics
+        tracer = get_tracer()
+        metrics = tracer.metrics
         metrics.histogram("service.queue_wait_s").observe(job.queue_wait)
+        self._publish("job.start", job, worker=worker,
+                      queue_wait=job.queue_wait)
+        self.monitor.observe(job.tenant, "queue_wait_s", t=self.engine.now,
+                             value=job.queue_wait or 0.0, job_id=job.job_id)
         try:
-            sched, hit = self.executor.execute(job.spec)
+            # Ambient tenant/job context: every span, instant and probe
+            # sample the inner replay engine records carries these tags,
+            # so bus events stay attributable across the DES boundary.
+            with tracer.context(tenant=job.tenant, job=job.job_id):
+                sched, hit = self.executor.execute(job.spec)
         except Exception as exc:  # noqa: BLE001 — job isolation boundary
             job.state = JobState.FAILED
             job.error = repr(exc)
             metrics.counter("service.jobs_failed").inc()
             return 0.0
+        finally:
+            # The inner replay engine stole the tracer clock ("last
+            # engine wins"); later service events must read service time.
+            tracer.attach_engine(self.engine)
         job.result = sched
         job.cache_hit = hit
         if hit:
@@ -265,6 +347,17 @@ class CampaignService:
         if job.state is JobState.RUNNING:
             job.state = JobState.DONE
         self.quota.release(job.tenant, job.demand)
+        if job.state is JobState.DONE and job.result is not None:
+            sched = job.result
+            slowdown = (sched.makespan / (sched.n_steps * sched.sim_step_time)
+                        if sched.n_steps and sched.sim_step_time else 0.0)
+            self._publish("job.done", job, makespan=sched.makespan,
+                          slowdown=slowdown, cache_hit=job.cache_hit)
+            self.monitor.observe(job.tenant, "makespan_slowdown",
+                                 t=self.engine.now, value=slowdown,
+                                 job_id=job.job_id)
+        elif job.state is JobState.FAILED:
+            self._publish("job.failed", job, error=job.error)
         metrics = get_tracer().metrics
         served = self.cache_hits + self.cache_misses
         if served:
@@ -315,6 +408,7 @@ class CampaignService:
                 wait = job.queue_wait or 0.0
                 rep.total_queue_wait += wait
                 rep.max_queue_wait = max(rep.max_queue_wait, wait)
+                rep.queue_waits.append(wait)
                 if job.result is not None:
                     rep.makespan_total += job.result.makespan
                     rep.bytes_pulled += sum(r.bytes_pulled
@@ -325,6 +419,9 @@ class CampaignService:
                 rep.failed += 1
             else:
                 rep.queued += 1
+        for alert in self.monitor.alerts:
+            if alert.tenant in tenants:
+                tenants[alert.tenant].alerts += 1
         return ServiceReport(
             tenants=tenants,
             jobs=list(self.jobs),
@@ -335,4 +432,5 @@ class CampaignService:
             shard_balance=(ShardBalanceReport.merge(balances)
                            if balances else None),
             quotas={**self.quota.quotas, "*": self.quota.default},
+            alerts=list(self.monitor.alerts),
         )

@@ -60,6 +60,13 @@ class JobSpec:
     lease_timeout: float | None = None
     bucket_restart_delay: float | None = None
     max_bucket_restarts: int = 0
+    # Fault *injection* plan for the replay (deterministic, seeded) —
+    # lets a service batch carry chaos tenants next to clean ones.
+    fault_seed: int = 0
+    crash_times: tuple[float, ...] = ()
+    pull_failure_rate: float = 0.0
+    pull_stall_rate: float = 0.0
+    pull_stall_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.tenant:
@@ -91,8 +98,21 @@ class JobSpec:
             if a not in valid:
                 raise ValueError(
                     f"unknown analysis {a!r}; choose from {sorted(valid)}")
+        for rate in ("pull_failure_rate", "pull_stall_rate"):
+            value = getattr(self, rate)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{rate} must be in [0, 1], got {value}")
+        if self.pull_stall_seconds < 0:
+            raise ValueError("pull_stall_seconds must be >= 0")
+        if self.has_faults() and self.n_shards != 1:
+            raise ValueError("fault injection requires n_shards == 1")
+        if self.crash_times and self.lease_timeout is None:
+            raise ValueError(
+                "crash_times require lease_timeout (crash recovery runs "
+                "through the lease/reassignment path)")
         # Normalize list -> tuple for hashing/equality after JSON loads.
         object.__setattr__(self, "analyses", tuple(self.analyses))
+        object.__setattr__(self, "crash_times", tuple(self.crash_times))
 
     # -- derived -------------------------------------------------------------
 
@@ -101,6 +121,21 @@ class JobSpec:
 
     def experiment_config(self) -> ExperimentConfig:
         return CONFIGS[self.config]()
+
+    def has_faults(self) -> bool:
+        return bool(self.crash_times or self.pull_failure_rate
+                    or self.pull_stall_rate)
+
+    def fault_config(self) -> "FaultConfig | None":
+        """The replay's injection plan, or None when the spec is clean."""
+        if not self.has_faults():
+            return None
+        from repro.faults.injector import FaultConfig
+        return FaultConfig(seed=self.fault_seed,
+                           crash_times=self.crash_times,
+                           pull_failure_rate=self.pull_failure_rate,
+                           pull_stall_rate=self.pull_stall_rate,
+                           pull_stall_seconds=self.pull_stall_seconds)
 
     def workload_dict(self) -> dict[str, Any]:
         """The workload half of the schedule-cache key: what is replayed."""
@@ -119,6 +154,11 @@ class JobSpec:
             "lease_timeout": self.lease_timeout,
             "bucket_restart_delay": self.bucket_restart_delay,
             "max_bucket_restarts": self.max_bucket_restarts,
+            "fault_seed": self.fault_seed,
+            "crash_times": list(self.crash_times),
+            "pull_failure_rate": self.pull_failure_rate,
+            "pull_stall_rate": self.pull_stall_rate,
+            "pull_stall_seconds": self.pull_stall_seconds,
         }
 
     # -- serialization -------------------------------------------------------
@@ -137,6 +177,11 @@ class JobSpec:
             "lease_timeout": self.lease_timeout,
             "bucket_restart_delay": self.bucket_restart_delay,
             "max_bucket_restarts": self.max_bucket_restarts,
+            "fault_seed": self.fault_seed,
+            "crash_times": list(self.crash_times),
+            "pull_failure_rate": self.pull_failure_rate,
+            "pull_stall_rate": self.pull_stall_rate,
+            "pull_stall_seconds": self.pull_stall_seconds,
         }
 
     @classmethod
@@ -147,6 +192,8 @@ class JobSpec:
         data = dict(d)
         if "analyses" in data:
             data["analyses"] = tuple(data["analyses"])
+        if "crash_times" in data:
+            data["crash_times"] = tuple(data["crash_times"])
         return cls(**data)
 
     def with_submit_at(self, t: float) -> "JobSpec":

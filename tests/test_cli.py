@@ -316,3 +316,84 @@ class TestServiceCli:
     def test_jobs_empty_store(self, tmp_path, capsys):
         assert main(["jobs", "--out-dir", str(tmp_path)]) == 0
         assert "no job records" in capsys.readouterr().out
+
+
+class TestTopCli:
+    def _batch(self, jobs):
+        """2 tenants: alpha clean, beta fault-injected past the 3.5x
+        slowdown objective (stalls under a short lease)."""
+        self._submit(jobs, "alpha", "a1", 4)
+        self._submit(jobs, "beta", "b1", 4, **{
+            "lease-timeout": 5, "fault-seed": 3,
+            "stall-rate": 0.5, "stall-seconds": 40})
+
+    _submit = TestServiceCli._submit
+
+    def test_jsonl_once_streams_attributed_events(self, tmp_path, capsys):
+        import json
+
+        jobs = tmp_path / "batch.jsonl"
+        self._batch(jobs)
+        capsys.readouterr()  # drop the submit confirmations
+        rc = main(["top", "--jobs", str(jobs), "--out-dir", str(tmp_path),
+                   "--workers", "2", "--follow", "--jsonl", "--once"])
+        assert rc == 0
+        lines = [json.loads(x) for x in
+                 capsys.readouterr().out.strip().splitlines()]
+        summary = lines[-1]["summary"]
+        events = [x for x in lines if "summary" not in x]
+        assert summary["all_done"] and summary["jobs"] == 2
+        assert summary["alerts"] == {"alpha": 0, "beta": 1}
+        assert summary["events_published"] == len(events)
+        # every event is tenant/job-attributed
+        assert all(e["tenant"] and e["job_id"] for e in events)
+        kinds = {e["kind"] for e in events}
+        assert {"job", "span", "probe", "alert"} <= kinds
+
+    def test_same_seed_stream_is_byte_identical(self, tmp_path, capsys):
+        jobs = tmp_path / "batch.jsonl"
+        self._batch(jobs)
+        argv = ["top", "--jobs", str(jobs), "--out-dir", str(tmp_path),
+                "--workers", "2", "--follow", "--jsonl", "--once",
+                "--out", "stream_a.jsonl"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        argv[-1] = "stream_b.jsonl"
+        assert main(argv) == 0
+        a = (tmp_path / "stream_a.jsonl").read_bytes()
+        b = (tmp_path / "stream_b.jsonl").read_bytes()
+        assert a == b and a
+
+    def test_expect_alert_gates(self, tmp_path, capsys):
+        jobs = tmp_path / "batch.jsonl"
+        self._batch(jobs)
+        base = ["top", "--jobs", str(jobs), "--out-dir", str(tmp_path),
+                "--workers", "2", "--follow", "--jsonl", "--once"]
+        assert main(base + ["--expect-alerts", "beta",
+                            "--expect-clean", "alpha"]) == 0
+        capsys.readouterr()
+        # inverted expectations must fail the gate
+        assert main(base + ["--expect-alerts", "alpha"]) == 1
+        capsys.readouterr()
+        assert main(base + ["--expect-clean", "beta"]) == 1
+        capsys.readouterr()
+
+    def test_follow_text_view(self, tmp_path, capsys):
+        jobs = tmp_path / "batch.jsonl"
+        self._submit(jobs, "alpha", "a1", 2)
+        rc = main(["top", "--jobs", str(jobs), "--out-dir", str(tmp_path),
+                   "--workers", "2", "--follow", "--once"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out and "events published" in out
+
+    def test_control_artifact_lands_under_out_dir(self, tmp_path,
+                                                  monkeypatch, capsys):
+        """`repro control` from a subdirectory with a relative --out-dir
+        must anchor the JSON at the invoking CWD (regression lock)."""
+        monkeypatch.chdir(tmp_path)
+        rc = main(["control", "--steps", "4", "--buckets", "3",
+                   "--out-dir", "artifacts"])
+        assert rc == 0
+        assert (tmp_path / "artifacts" / "repro_control.json").exists()
+        assert not (tmp_path / "repro_control.json").exists()
