@@ -21,6 +21,11 @@ Commands:
   window;
 * ``faults``    — run the staging workload under seeded fault injection
   and report recovery behaviour per scenario;
+* ``capacity``  — replay a per-tenant campaign with the byte-accurate
+  capacity ledger attached and report staging-memory watermarks, NIC
+  occupancy, leaked regions, and measured-vs-analytic headroom, with a
+  ``--gate`` smoke mode (clean runs must be leak-free and within the
+  analytic bound; ``--inject-leak`` must be detected);
 * ``perf``      — cross-run performance: ``record`` appends the canonical
   run record to a store, ``compare`` gates a fresh run against the
   committed baseline (nonzero exit on regression), ``report`` renders the
@@ -474,6 +479,84 @@ def _cmd_control(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.capacity import LEAK_INJECTOR_NODE, run_capacity_scenario
+    from repro.util import TextTable
+
+    outcome = run_capacity_scenario(
+        n_steps=args.steps, n_buckets=args.buckets,
+        analysis_interval=args.interval, n_shards=args.shards,
+        tenants=tuple(args.tenants), inject_leak=args.inject_leak,
+        leak_bytes=args.leak_bytes)
+    merged = outcome["merged"]
+
+    headroom = TextTable(["tenant run", "analytic bound", "measured peak",
+                          "headroom", "nic peak", "leaks"],
+                         title="measured vs analytic staging memory")
+    for tenant, rep in outcome["tenants"].items():
+        headroom.add_row([
+            tenant, rep.analytic_bound_bytes, rep.peak_resident_bytes,
+            rep.headroom_bytes if rep.headroom_bytes is not None else "-",
+            rep.nic_peak_bytes, len(rep.leaks)])
+    print(headroom.render())
+    print()
+    print(merged.watermark_table())
+    print()
+    print(merged.leak_table())
+
+    out = _resolve_out(args.json, args.out_dir, "repro_capacity.json")
+    payload = {
+        "tenants": {t: r.to_dict() for t, r in outcome["tenants"].items()},
+        "merged": merged.to_dict(),
+        "makespans": outcome["makespans"],
+        "inject_leak": outcome["inject_leak"],
+        "n_events": len(outcome["events"]),
+    }
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"\nwrote {out}")
+    if args.events:
+        events_path = _resolve_out(args.events, args.out_dir,
+                                   "repro_capacity.jsonl")
+        events_path.write_text("\n".join(outcome["events"]) + "\n",
+                               encoding="utf-8")
+        print(f"wrote {events_path} ({len(outcome['events'])} "
+              f"capacity events)")
+
+    violations = sum(r.headroom_violations
+                     for r in outcome["tenants"].values())
+    injected = [leak for leak in merged.leaks
+                if leak["source"] == LEAK_INJECTOR_NODE]
+    genuine = [leak for leak in merged.leaks
+               if leak["source"] != LEAK_INJECTOR_NODE]
+    print(f"\n{merged.n_registers} registers / {merged.n_releases} "
+          f"releases across {len(outcome['tenants'])} tenant run(s); "
+          f"peak resident {merged.peak_resident_bytes} bytes, "
+          f"{len(merged.leaks)} leak(s), {violations} headroom "
+          f"violation(s)")
+    if not args.gate:
+        return 0
+    rc = 0
+    if genuine:
+        print(f"capacity gate FAILED: {len(genuine)} leaked region(s) "
+              f"survived the drain")
+        rc = 1
+    if violations:
+        print(f"capacity gate FAILED: measured peak exceeded the "
+              f"analytic staging_memory_needed bound in {violations} "
+              f"run(s)")
+        rc = 1
+    if args.inject_leak and not injected:
+        print("capacity gate FAILED: the injected retention fault was "
+              "not detected")
+        rc = 1
+    if rc == 0:
+        print("capacity gate: PASS")
+    return rc
+
+
 def _parse_kv_floats(pairs: list[str], option: str) -> dict[str, float]:
     """``["a=1.5", "b=0"] -> {"a": 1.5, "b": 0.0}`` with a clear error."""
     out: dict[str, float] = {}
@@ -782,6 +865,8 @@ def _cmd_top(args: argparse.Namespace) -> int:
             "all_done": report.all_done,
             "events_published": bus.published,
             "events_dropped": bus.dropped_total,
+            "events_dropped_by_kind": dict(sorted(
+                bus.dropped_by_kind.items())),
             "subscriber_dropped": sub.dropped,
             "alerts": by_tenant,
         }}, sort_keys=True, separators=(",", ":")))
@@ -1008,6 +1093,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gate", action="store_true",
                    help="exit 1 unless the adaptive makespan is <= static")
 
+    p = sub.add_parser("capacity", help="byte-accurate staging-memory and "
+                                        "NIC-bandwidth ledger report")
+    p.add_argument("--steps", type=int, default=6)
+    p.add_argument("--buckets", type=int, default=4)
+    p.add_argument("--interval", type=int, default=1,
+                   help="analysis interval (steps between analysed steps)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="DataSpaces shards per tenant replay")
+    p.add_argument("--tenants", nargs="+", default=["alpha", "beta"],
+                   metavar="TENANT",
+                   help="tenant run per name (default: alpha beta)")
+    p.add_argument("--inject-leak", action="store_true",
+                   help="arm a seeded retention fault on the last "
+                        "tenant's run (the leak detector must find it)")
+    p.add_argument("--leak-bytes", type=int, default=1 << 20,
+                   help="size of the injected leaked region "
+                        "(default: 1 MiB)")
+    p.add_argument("--out-dir", default="repro_out",
+                   help="artifact directory (default: repro_out/)")
+    p.add_argument("--json", default=None,
+                   help="capacity report JSON path "
+                        "(default: <out-dir>/repro_capacity.json)")
+    p.add_argument("--events", default=None,
+                   help="also write the kind=capacity bus-event stream "
+                        "here as JSONL (byte-identical across same-seed "
+                        "runs; relative paths land under --out-dir)")
+    p.add_argument("--gate", action="store_true",
+                   help="exit 1 on leaked regions or a measured peak over "
+                        "the analytic bound (and, with --inject-leak, "
+                        "unless the injected leak is detected)")
+
     p = sub.add_parser("perf", help="cross-run records, regression gate, "
                                     "HTML dashboard")
     p.add_argument("action", choices=("record", "compare", "report"),
@@ -1190,6 +1306,7 @@ _COMMANDS = {
     "blame": _cmd_blame,
     "faults": _cmd_faults,
     "control": _cmd_control,
+    "capacity": _cmd_capacity,
     "perf": _cmd_perf,
     "serve": _cmd_serve,
     "top": _cmd_top,

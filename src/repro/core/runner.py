@@ -100,6 +100,11 @@ class ScheduleResult:
     #: The attached :class:`repro.faults.FaultInjector` when the replay
     #: ran under an injected fault plan (``fault_config=`` given).
     faults: Any | None = None
+    #: The finalized :class:`repro.obs.capacity.CapacityReport` when a
+    #: capacity ledger rode the replay (``capacity=`` given, or tracing
+    #: enabled) — measured resident-bytes watermarks, NIC occupancy,
+    #: leak scan and headroom vs the analytic bound.
+    capacity: Any | None = None
 
     def by_analysis(self, name: str) -> list[TaskResult]:
         return [r for r in self.results if r.analysis == name]
@@ -265,7 +270,8 @@ class ScaledExperiment:
                      bucket_restart_delay: float | None = None,
                      max_bucket_restarts: int = 0,
                      controller: Any | None = None,
-                     fault_config: Any | None = None) -> ScheduleResult:
+                     fault_config: Any | None = None,
+                     capacity: Any | None = None) -> ScheduleResult:
         """Replay ``n_steps`` of the hybrid workflow on the DES.
 
         One grouped in-transit task per (hybrid analysis, analysed step)
@@ -302,6 +308,14 @@ class ScaledExperiment:
         :class:`repro.faults.FaultConfig`) attaches a deterministic fault
         plan — injected bucket crashes and RDMA pull faults — to either
         kind of replay. Both require ``n_shards == 1``.
+
+        ``capacity`` controls the byte-accurate capacity ledger
+        (:class:`repro.obs.capacity.CapacityLedger`): ``True`` (or a
+        prebuilt ledger) attaches one to every transport of the run,
+        ``False`` disables it, and the default ``None`` attaches one iff
+        tracing is enabled — an untraced replay pays only the ``is
+        None`` checks in the transport hot paths. The finalized report
+        is returned on :attr:`ScheduleResult.capacity`.
         """
         if n_steps < 1:
             raise ValueError(f"n_steps must be >= 1, got {n_steps}")
@@ -340,6 +354,24 @@ class ScaledExperiment:
                 max_bucket_restarts=max_bucket_restarts)
             probe_map = ds.probe_map()
         ds.spawn_buckets([f"staging-{i}" for i in range(n_buckets)])
+
+        ledger = None
+        if capacity is None:
+            capacity = get_tracer().enabled
+        if capacity:
+            # Lazy import: repro.obs.capacity imports nothing from core.
+            from repro.obs.capacity import CapacityLedger
+            ledger = (capacity if isinstance(capacity, CapacityLedger)
+                      else CapacityLedger())
+            ledger.bind_clock(lambda: engine.now)
+            ledger.analytic_bound_bytes = self.staging_memory_needed(
+                analysis_interval, n_buckets)
+            if n_shards == 1:
+                ledger.attach_transport(transport, shard="shard0")
+            else:
+                for i, shard_transport in enumerate(ds.transports):
+                    ledger.attach_transport(shard_transport,
+                                            shard=f"shard{i}")
 
         injector = None
         if fault_config is not None:
@@ -415,7 +447,7 @@ class ScaledExperiment:
             controller.begin_run(experiment=self, ds=ds, analyses=analyses,
                                  n_buckets=n_buckets,
                                  analysis_interval=analysis_interval,
-                                 probe_map=probe_map)
+                                 probe_map=probe_map, capacity=ledger)
             insitu_base = {v: self.cost.time(*self.workload.insitu_op(v))
                            for v in analyses}
             intransit_extra = {v: self.analytics_timing(v).intransit_time
@@ -506,7 +538,9 @@ class ScaledExperiment:
                               probes=sampler,
                               shard_balance=shard_balance,
                               controller=controller,
-                              faults=injector)
+                              faults=injector,
+                              capacity=(ledger.finalize()
+                                        if ledger is not None else None))
 
     # -- observability ------------------------------------------------------------
 

@@ -27,6 +27,10 @@ The observability subsystem for the hybrid pipeline:
   events in DES time with per-tenant attribution, :class:`BurnRateMonitor`
   rolling SLO burn-rate alerting, and the ``repro top`` live service
   view (``python -m repro top``).
+* Capacity plane — :class:`CapacityLedger` byte-accurate staging-memory
+  and NIC-bandwidth ledgers with per-tenant/shard/source attribution,
+  leak detection, and headroom reconciliation against the analytic
+  ``staging_memory_needed`` bound (``python -m repro capacity``).
 
 Typical use::
 
@@ -62,6 +66,14 @@ from repro.obs.blame import (
     flow_edge_totals,
     kernel_table,
     top_kernels,
+)
+from repro.obs.capacity import (
+    CapacityLedger,
+    CapacityReport,
+    LedgerEntry,
+    TransferEntry,
+    capacity_objectives,
+    run_capacity_scenario,
 )
 from repro.obs.export import (
     lane_summary,
@@ -151,6 +163,12 @@ __all__ = [
     "flow_edge_totals",
     "kernel_table",
     "top_kernels",
+    "CapacityLedger",
+    "CapacityReport",
+    "LedgerEntry",
+    "TransferEntry",
+    "capacity_objectives",
+    "run_capacity_scenario",
     "BLAME_BUCKETS",
     "EDGE_KINDS",
     "FlowContext",

@@ -1,0 +1,728 @@
+"""`repro.obs.capacity` — the byte-accurate capacity accounting plane.
+
+Everything else in the observability stack reasons about staging memory
+*analytically*: `ScaledExperiment.staging_memory_needed` is a formula,
+and quotas, SLOs and the placement controller all consume it. This
+module adds the measured side — a DES-time **resource ledger** that
+records every staging-region allocate/free in the
+:class:`~repro.transport.rdma.RdmaRegistry` and every granted-bytes wire
+interval in :class:`~repro.transport.dart.DartTransport` as *attributed*
+ledger entries (tenant/job via the tracer's ambient
+:meth:`~repro.obs.tracer.Tracer.context`, shard via the attach site,
+analysis/timestep via the region metadata).
+
+On top of the ledger:
+
+* exact per-tenant / per-shard / per-source resident-bytes accounting
+  with high/low watermarks (integer bytes, so per-tenant totals sum to
+  the global total with zero error);
+* a **leak detector** — after a run drains, every consumer task has
+  settled and every ``drop_version`` gc has run, so any region still
+  resident in a registry is a leak; :meth:`CapacityLedger.scan_leaks`
+  reports each with its allocating attribution (source node, analysis,
+  timestep, tenant/job);
+* a **headroom model** — the measured peak resident bytes reconciled
+  against the analytic ``staging_memory_needed`` bound (clean runs must
+  measure at or under the bound; the gap is surfaced as
+  ``capacity.headroom_bytes``);
+* ``kind=capacity`` events on the :class:`~repro.obs.live.TelemetryBus`
+  — stamped from the DES clock only, so same-seed streams are
+  byte-identical;
+* per-tenant memory/bandwidth :class:`~repro.obs.live.SloObjective`
+  factories for the :class:`~repro.obs.live.BurnRateMonitor`.
+
+Determinism and overhead contract: the ledger only exists when a run
+asks for one (or tracing is on); the registry/transport hot paths pay a
+single ``ledger is None`` check when it does not, keeping the <5%
+disabled-tracer overhead guard intact. All byte quantities are integers
+and all timestamps are DES seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.obs.live import KIND_CAPACITY, SloObjective
+from repro.obs.metrics import Gauge
+from repro.obs.tracer import get_tracer
+from repro.util.tables import TextTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.transport.dart import DartTransport
+    from repro.transport.rdma import RdmaRegion, RdmaRegistry
+
+__all__ = [
+    "CapacityLedger",
+    "CapacityReport",
+    "LedgerEntry",
+    "TransferEntry",
+    "capacity_objectives",
+    "run_capacity_scenario",
+]
+
+#: Attribution key used when no tenant/job context tag is in effect.
+UNATTRIBUTED = "-"
+
+#: Source-node name the synthetic retention fault registers under (the
+#: ``--inject-leak`` leg of the capacity smoke gate).
+LEAK_INJECTOR_NODE = "fault-injector"
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One staging-memory ledger transition (register / release / leak)."""
+
+    t: float
+    op: str  # "register" | "release" | "leak"
+    region_id: str
+    nbytes: int
+    #: Global resident bytes immediately after this transition.
+    resident: int
+    shard: str
+    source: str
+    tenant: str
+    job: str
+    analysis: str | None = None
+    timestep: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"t": self.t, "op": self.op, "region_id": self.region_id,
+                "nbytes": self.nbytes, "resident": self.resident,
+                "shard": self.shard, "source": self.source,
+                "tenant": self.tenant, "job": self.job,
+                "analysis": self.analysis, "timestep": self.timestep}
+
+
+@dataclass(frozen=True)
+class TransferEntry:
+    """One granted-bytes NIC interval (the wire time of an RDMA pull)."""
+
+    t_start: float
+    t_end: float
+    nbytes: int
+    protocol: str
+    src: str
+    dest: str
+    shard: str
+    tenant: str
+    job: str
+    analysis: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"t_start": self.t_start, "t_end": self.t_end,
+                "nbytes": self.nbytes, "protocol": self.protocol,
+                "src": self.src, "dest": self.dest, "shard": self.shard,
+                "tenant": self.tenant, "job": self.job,
+                "analysis": self.analysis}
+
+
+class _ScopeAccount:
+    """Integer resident-bytes accounting for one attribution scope."""
+
+    __slots__ = ("resident", "registered", "released", "nic_bytes", "gauge")
+
+    def __init__(self, name: str, clock: Callable[[], float]) -> None:
+        self.resident = 0
+        self.registered = 0
+        self.released = 0
+        self.nic_bytes = 0
+        self.gauge = Gauge(name, clock=clock)
+
+    def to_dict(self) -> dict[str, Any]:
+        wm = self.gauge.watermark()
+        return {"resident_bytes": self.resident,
+                "registered_bytes": self.registered,
+                "released_bytes": self.released,
+                "nic_bytes": self.nic_bytes,
+                "peak_bytes": int(wm["max"]) if wm["max"] is not None else 0,
+                "peak_t": wm["max_t"]}
+
+
+@dataclass
+class CapacityReport:
+    """Everything one ledger measured, as plain JSON-safe data.
+
+    ``by_tenant`` / ``by_shard`` / ``by_source`` break the same integer
+    byte totals down by attribution scope, so each breakdown's
+    ``registered_bytes`` (and ``released_bytes``, ``nic_bytes``) sums
+    exactly to the corresponding global total.
+    """
+
+    analytic_bound_bytes: int | None
+    peak_resident_bytes: int
+    peak_t: float | None
+    final_resident_bytes: int
+    registered_bytes_total: int
+    released_bytes_total: int
+    n_registers: int
+    n_releases: int
+    nic_peak_bytes: int
+    nic_peak_t: float | None
+    nic_bytes_total: int
+    nic_busy_seconds: float
+    n_transfers: int
+    by_tenant: dict[str, dict[str, Any]] = field(default_factory=dict)
+    by_shard: dict[str, dict[str, Any]] = field(default_factory=dict)
+    by_source: dict[str, dict[str, Any]] = field(default_factory=dict)
+    by_analysis: dict[str, dict[str, Any]] = field(default_factory=dict)
+    leaks: list[dict[str, Any]] = field(default_factory=list)
+    resident_series: list[tuple[float, int]] | None = None
+    #: 1 when this run measured past its analytic bound, else 0 (summed
+    #: by :meth:`merge` so a campaign view counts offending runs).
+    headroom_violations: int = 0
+
+    @property
+    def headroom_bytes(self) -> int | None:
+        if self.analytic_bound_bytes is None:
+            return None
+        return self.analytic_bound_bytes - self.peak_resident_bytes
+
+    @property
+    def clean(self) -> bool:
+        """No leaks and no headroom violation."""
+        return not self.leaks and self.headroom_violations == 0
+
+    def to_dict(self, series_cap: int | None = 240) -> dict[str, Any]:
+        series = self.resident_series
+        if series is not None and series_cap is not None \
+                and len(series) > series_cap:
+            stride = len(series) / series_cap
+            series = [series[int(i * stride)] for i in range(series_cap)]
+        return {
+            "analytic_bound_bytes": self.analytic_bound_bytes,
+            "peak_resident_bytes": self.peak_resident_bytes,
+            "peak_t": self.peak_t,
+            "headroom_bytes": self.headroom_bytes,
+            "headroom_violations": self.headroom_violations,
+            "final_resident_bytes": self.final_resident_bytes,
+            "registered_bytes_total": self.registered_bytes_total,
+            "released_bytes_total": self.released_bytes_total,
+            "n_registers": self.n_registers,
+            "n_releases": self.n_releases,
+            "nic_peak_bytes": self.nic_peak_bytes,
+            "nic_peak_t": self.nic_peak_t,
+            "nic_bytes_total": self.nic_bytes_total,
+            "nic_busy_seconds": self.nic_busy_seconds,
+            "n_transfers": self.n_transfers,
+            "by_tenant": self.by_tenant,
+            "by_shard": self.by_shard,
+            "by_source": self.by_source,
+            "by_analysis": self.by_analysis,
+            "leaks": self.leaks,
+            "resident_series": series,
+        }
+
+    def watermark_table(self) -> str:
+        """Aligned per-scope watermark table (the `repro capacity` view)."""
+        t = TextTable(["scope", "peak bytes", "at t", "registered",
+                       "released", "resident", "nic bytes"],
+                      title="capacity watermarks")
+        t.add_row(["global", self.peak_resident_bytes,
+                   f"{self.peak_t:.4f}" if self.peak_t is not None else "-",
+                   self.registered_bytes_total, self.released_bytes_total,
+                   self.final_resident_bytes, self.nic_bytes_total])
+        for label, scopes in (("tenant", self.by_tenant),
+                              ("shard", self.by_shard),
+                              ("source", self.by_source)):
+            for name, acct in sorted(scopes.items()):
+                peak_t = acct.get("peak_t")
+                t.add_row([f"{label}:{name}", acct["peak_bytes"],
+                           f"{peak_t:.4f}" if peak_t is not None else "-",
+                           acct["registered_bytes"], acct["released_bytes"],
+                           acct["resident_bytes"], acct["nic_bytes"]])
+        return t.render()
+
+    def leak_table(self) -> str:
+        if not self.leaks:
+            return "(no leaks)"
+        t = TextTable(["region", "bytes", "shard", "source", "analysis",
+                       "step", "tenant", "job"], title="leaked regions")
+        for leak in self.leaks:
+            t.add_row([leak["region_id"], leak["nbytes"], leak["shard"],
+                       leak["source"], leak["analysis"] or "-",
+                       leak["timestep"] if leak["timestep"] is not None
+                       else "-", leak["tenant"], leak["job"]])
+        return t.render()
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "CapacityReport":
+        """Rebuild a report from :meth:`to_dict` output (the schedule
+        cache round-trip; pass ``series_cap=None`` when serializing for
+        an exact rebuild)."""
+        series = d.get("resident_series")
+        return cls(
+            analytic_bound_bytes=d.get("analytic_bound_bytes"),
+            peak_resident_bytes=d["peak_resident_bytes"],
+            peak_t=d.get("peak_t"),
+            final_resident_bytes=d["final_resident_bytes"],
+            registered_bytes_total=d["registered_bytes_total"],
+            released_bytes_total=d["released_bytes_total"],
+            n_registers=d["n_registers"],
+            n_releases=d["n_releases"],
+            nic_peak_bytes=d["nic_peak_bytes"],
+            nic_peak_t=d.get("nic_peak_t"),
+            nic_bytes_total=d["nic_bytes_total"],
+            nic_busy_seconds=d["nic_busy_seconds"],
+            n_transfers=d["n_transfers"],
+            by_tenant=d.get("by_tenant", {}),
+            by_shard=d.get("by_shard", {}),
+            by_source=d.get("by_source", {}),
+            by_analysis=d.get("by_analysis", {}),
+            leaks=d.get("leaks", []),
+            resident_series=([(p[0], p[1]) for p in series]
+                             if series is not None else None),
+            headroom_violations=d.get("headroom_violations", 0),
+        )
+
+    @classmethod
+    def merge(cls, reports: list["CapacityReport"]) -> "CapacityReport":
+        """Aggregate several runs' reports into one campaign view.
+
+        Totals and breakdowns sum; peaks take the per-run maximum (runs
+        are sequential on the service clock, never co-resident); the
+        per-run resident series and analytic bounds do not compose, so
+        the merged report carries neither — headroom accounting survives
+        as the summed violation count.
+        """
+        if not reports:
+            raise ValueError("cannot merge zero capacity reports")
+
+        def merge_scopes(key: str) -> dict[str, dict[str, Any]]:
+            out: dict[str, dict[str, Any]] = {}
+            for rep in reports:
+                for name, acct in getattr(rep, key).items():
+                    cur = out.setdefault(name, {
+                        "resident_bytes": 0, "registered_bytes": 0,
+                        "released_bytes": 0, "nic_bytes": 0,
+                        "peak_bytes": 0, "peak_t": None})
+                    for f in ("resident_bytes", "registered_bytes",
+                              "released_bytes", "nic_bytes"):
+                        cur[f] += acct[f]
+                    if acct["peak_bytes"] > cur["peak_bytes"]:
+                        cur["peak_bytes"] = acct["peak_bytes"]
+                        cur["peak_t"] = acct.get("peak_t")
+            return out
+
+        peak = max(reports, key=lambda r: r.peak_resident_bytes)
+        nic_peak = max(reports, key=lambda r: r.nic_peak_bytes)
+        return cls(
+            analytic_bound_bytes=None,
+            peak_resident_bytes=peak.peak_resident_bytes,
+            peak_t=peak.peak_t,
+            final_resident_bytes=sum(r.final_resident_bytes
+                                     for r in reports),
+            registered_bytes_total=sum(r.registered_bytes_total
+                                       for r in reports),
+            released_bytes_total=sum(r.released_bytes_total
+                                     for r in reports),
+            n_registers=sum(r.n_registers for r in reports),
+            n_releases=sum(r.n_releases for r in reports),
+            nic_peak_bytes=nic_peak.nic_peak_bytes,
+            nic_peak_t=nic_peak.nic_peak_t,
+            nic_bytes_total=sum(r.nic_bytes_total for r in reports),
+            nic_busy_seconds=sum(r.nic_busy_seconds for r in reports),
+            n_transfers=sum(r.n_transfers for r in reports),
+            by_tenant=merge_scopes("by_tenant"),
+            by_shard=merge_scopes("by_shard"),
+            by_source=merge_scopes("by_source"),
+            by_analysis=merge_scopes("by_analysis"),
+            leaks=[leak for r in reports for leak in r.leaks],
+            resident_series=None,
+            headroom_violations=sum(r.headroom_violations for r in reports),
+        )
+
+
+class CapacityLedger:
+    """DES-time ledger of staging-memory and NIC-bandwidth consumption.
+
+    Attach it to the transports of a run (:meth:`attach_transport`) and
+    bind the run's DES clock (:meth:`bind_clock`); the registry and
+    transport hot paths call :meth:`on_register` / :meth:`on_release` /
+    :meth:`on_transfer` behind a single ``ledger is not None`` check.
+    After the run drains, :meth:`finalize` scans the registries for
+    leaked regions and assembles the :class:`CapacityReport`.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None,
+                 analytic_bound_bytes: int | None = None) -> None:
+        self._clock: Callable[[], float] = clock or (lambda: 0.0)
+        self.analytic_bound_bytes = analytic_bound_bytes
+        self._tracer = get_tracer()
+        self.entries: list[LedgerEntry] = []
+        self.transfers: list[TransferEntry] = []
+        self.resident_bytes = 0
+        self.registered_bytes_total = 0
+        self.released_bytes_total = 0
+        self.n_registers = 0
+        self.n_releases = 0
+        self._resident_gauge = Gauge("capacity.resident_bytes",
+                                     clock=self.now, record_series=True)
+        self._scopes: dict[str, dict[str, _ScopeAccount]] = {
+            "tenant": {}, "shard": {}, "source": {}, "analysis": {}}
+        #: (shard, region_id) -> attribution captured at register time, so
+        #: a release (or leak scan) outside the allocating context still
+        #: credits the right tenant/shard. Keyed by shard too: region ids
+        #: are minted per registry, so distinct shards can reuse one id.
+        self._attribution: dict[tuple[str, str], dict[str, Any]] = {}
+        self._registries: list[tuple[str, "RdmaRegistry"]] = []
+        self._pending_leak_bytes: int | None = None
+        self._report: CapacityReport | None = None
+
+    # -- wiring ---------------------------------------------------------------
+
+    def now(self) -> float:
+        return self._clock()
+
+    @property
+    def peak_resident_bytes(self) -> int:
+        """Running high-water mark of global resident staging bytes."""
+        wm = self._resident_gauge.watermark()
+        return int(wm["max"]) if wm["max"] is not None else 0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Use the run's DES clock (``lambda: engine.now``)."""
+        self._clock = clock
+
+    def attach_transport(self, transport: "DartTransport",
+                         shard: str = "shard0") -> None:
+        """Hook one transport (and its registry) into the ledger."""
+        transport.ledger = self
+        transport.ledger_shard = shard
+        self.attach_registry(transport.registry, shard=shard)
+
+    def attach_registry(self, registry: "RdmaRegistry",
+                        shard: str = "shard0") -> None:
+        registry.ledger = self
+        registry.ledger_shard = shard
+        self._registries.append((shard, registry))
+        if self._pending_leak_bytes is not None:
+            # Seeded retention fault: a real region registered through
+            # the real path, never released — the leak scan must find it.
+            nbytes = self._pending_leak_bytes
+            self._pending_leak_bytes = None
+            registry.register(LEAK_INJECTOR_NODE, payload=None,
+                              nbytes=nbytes,
+                              meta={"analysis": "injected-leak",
+                                    "timestep": -1})
+
+    def inject_leak(self, nbytes: int = 1 << 20) -> None:
+        """Arm a synthetic retention fault for the next registry attach
+        (the ``--inject-leak`` capacity-smoke leg)."""
+        if nbytes <= 0:
+            raise ValueError(f"leak bytes must be > 0, got {nbytes}")
+        self._pending_leak_bytes = int(nbytes)
+
+    # -- ledger transitions ---------------------------------------------------
+
+    def _scope(self, kind: str, name: str) -> _ScopeAccount:
+        scopes = self._scopes[kind]
+        acct = scopes.get(name)
+        if acct is None:
+            acct = scopes[name] = _ScopeAccount(
+                f"capacity.{kind}.{name}", clock=self.now)
+        return acct
+
+    def _attr_tags(self) -> tuple[str, str]:
+        tags = self._tracer.context_tags()
+        return (tags.get("tenant") or UNATTRIBUTED,
+                tags.get("job") or UNATTRIBUTED)
+
+    def on_register(self, region: "RdmaRegion", shard: str) -> None:
+        t = self.now()
+        tenant, job = self._attr_tags()
+        nbytes = int(region.nbytes)
+        analysis = region.meta.get("analysis")
+        timestep = region.meta.get("timestep")
+        self.resident_bytes += nbytes
+        self.registered_bytes_total += nbytes
+        self.n_registers += 1
+        self._resident_gauge.set(self.resident_bytes)
+        attribution = {"tenant": tenant, "job": job, "shard": shard,
+                       "source": region.source_node, "analysis": analysis,
+                       "timestep": timestep, "nbytes": nbytes}
+        self._attribution[(shard, region.region_id)] = attribution
+        for kind, name in (("tenant", tenant), ("shard", shard),
+                           ("source", region.source_node),
+                           ("analysis", analysis or UNATTRIBUTED)):
+            acct = self._scope(kind, name)
+            acct.resident += nbytes
+            acct.registered += nbytes
+            acct.gauge.set(acct.resident)
+        self.entries.append(LedgerEntry(
+            t=t, op="register", region_id=region.region_id, nbytes=nbytes,
+            resident=self.resident_bytes, shard=shard,
+            source=region.source_node, tenant=tenant, job=job,
+            analysis=analysis, timestep=timestep))
+        self._publish("capacity.register", t, shard, tenant, job,
+                      region=region.region_id, nbytes=nbytes,
+                      resident=self.resident_bytes, analysis=analysis,
+                      step=timestep)
+
+    def on_release(self, region: "RdmaRegion", shard: str) -> None:
+        t = self.now()
+        attribution = self._attribution.pop((shard, region.region_id), None)
+        if attribution is None:
+            # Registered before the ledger attached: attribute to the
+            # releasing context so the books still balance.
+            tenant, job = self._attr_tags()
+            attribution = {"tenant": tenant, "job": job, "shard": shard,
+                           "source": region.source_node,
+                           "analysis": region.meta.get("analysis"),
+                           "timestep": region.meta.get("timestep"),
+                           "nbytes": int(region.nbytes)}
+            self.resident_bytes += attribution["nbytes"]
+            self.registered_bytes_total += attribution["nbytes"]
+            for kind, name in self._scope_keys(attribution):
+                acct = self._scope(kind, name)
+                acct.resident += attribution["nbytes"]
+                acct.registered += attribution["nbytes"]
+        nbytes = attribution["nbytes"]
+        self.resident_bytes -= nbytes
+        self.released_bytes_total += nbytes
+        self.n_releases += 1
+        self._resident_gauge.set(self.resident_bytes)
+        for kind, name in self._scope_keys(attribution):
+            acct = self._scope(kind, name)
+            acct.resident -= nbytes
+            acct.released += nbytes
+            acct.gauge.set(acct.resident)
+        self.entries.append(LedgerEntry(
+            t=t, op="release", region_id=region.region_id, nbytes=nbytes,
+            resident=self.resident_bytes, shard=attribution["shard"],
+            source=attribution["source"], tenant=attribution["tenant"],
+            job=attribution["job"], analysis=attribution["analysis"],
+            timestep=attribution["timestep"]))
+        self._publish("capacity.release", t, attribution["shard"],
+                      attribution["tenant"], attribution["job"],
+                      region=region.region_id, nbytes=nbytes,
+                      resident=self.resident_bytes,
+                      analysis=attribution["analysis"],
+                      step=attribution["timestep"])
+
+    @staticmethod
+    def _scope_keys(attribution: dict[str, Any]
+                    ) -> tuple[tuple[str, str], ...]:
+        return (("tenant", attribution["tenant"]),
+                ("shard", attribution["shard"]),
+                ("source", attribution["source"]),
+                ("analysis", attribution["analysis"] or UNATTRIBUTED))
+
+    def on_transfer(self, t_start: float, t_end: float, nbytes: int,
+                    protocol: str, src: str, dest: str, shard: str,
+                    analysis: str | None = None) -> None:
+        """Record one granted-bytes NIC interval (the wire time of a
+        pull, excluding NIC-channel queueing)."""
+        tenant, job = self._attr_tags()
+        nbytes = int(nbytes)
+        self.transfers.append(TransferEntry(
+            t_start=t_start, t_end=t_end, nbytes=nbytes, protocol=protocol,
+            src=src, dest=dest, shard=shard, tenant=tenant, job=job,
+            analysis=analysis))
+        for kind, name in (("tenant", tenant), ("shard", shard),
+                           ("source", src),
+                           ("analysis", analysis or UNATTRIBUTED)):
+            self._scope(kind, name).nic_bytes += nbytes
+        self._publish("capacity.transfer", t_end, shard, tenant, job,
+                      nbytes=nbytes, protocol=protocol, src=src, dest=dest,
+                      t_start=t_start, analysis=analysis)
+
+    def _publish(self, name: str, t: float, shard: str, tenant: str,
+                 job: str, **data: Any) -> None:
+        bus = self._tracer.bus
+        if bus is not None:
+            bus.publish(KIND_CAPACITY, name, t=t, lane=shard,
+                        tenant=None if tenant == UNATTRIBUTED else tenant,
+                        job_id=None if job == UNATTRIBUTED else job, **data)
+
+    # -- leak detection & the report -----------------------------------------
+
+    def scan_leaks(self) -> list[dict[str, Any]]:
+        """Regions still resident across every attached registry.
+
+        Call after the run drains: every consumer task has settled and
+        gc has run, so whatever is left was never freed."""
+        leaks: list[dict[str, Any]] = []
+        for shard, registry in self._registries:
+            for region_id in sorted(registry.region_ids()):
+                region = registry.lookup(region_id)
+                attribution = self._attribution.get((shard, region_id), {})
+                leaks.append({
+                    "region_id": region_id,
+                    "nbytes": int(region.nbytes),
+                    "shard": attribution.get("shard", shard),
+                    "source": region.source_node,
+                    "analysis": region.meta.get("analysis"),
+                    "timestep": region.meta.get("timestep"),
+                    "tenant": attribution.get("tenant", UNATTRIBUTED),
+                    "job": attribution.get("job", UNATTRIBUTED),
+                    "pull_count": region.pull_count,
+                })
+        return leaks
+
+    def finalize(self) -> CapacityReport:
+        """Scan for leaks and assemble the report (idempotent)."""
+        if self._report is not None:
+            return self._report
+        leaks = self.scan_leaks()
+        t = self.now()
+        for leak in leaks:
+            self.entries.append(LedgerEntry(
+                t=t, op="leak", region_id=leak["region_id"],
+                nbytes=leak["nbytes"], resident=self.resident_bytes,
+                shard=leak["shard"], source=leak["source"],
+                tenant=leak["tenant"], job=leak["job"],
+                analysis=leak["analysis"], timestep=leak["timestep"]))
+            self._publish("capacity.leak", t, leak["shard"], leak["tenant"],
+                          leak["job"], region=leak["region_id"],
+                          nbytes=leak["nbytes"], analysis=leak["analysis"],
+                          step=leak["timestep"])
+        nic_peak, nic_peak_t, nic_busy = self._nic_occupancy()
+        wm = self._resident_gauge.watermark()
+        peak = int(wm["max"]) if wm["max"] is not None else 0
+        bound = self.analytic_bound_bytes
+        violations = int(bound is not None and peak > bound)
+        if self._tracer.enabled:
+            metrics = self._tracer.metrics
+            metrics.gauge("capacity.peak_resident_bytes").set(peak)
+            if bound is not None:
+                metrics.gauge("capacity.headroom_bytes").set(bound - peak)
+            metrics.gauge("capacity.nic_peak_bytes").set(nic_peak)
+            metrics.gauge("capacity.leaked_regions").set(len(leaks))
+        self._report = CapacityReport(
+            analytic_bound_bytes=bound,
+            peak_resident_bytes=peak,
+            peak_t=wm["max_t"],
+            final_resident_bytes=self.resident_bytes,
+            registered_bytes_total=self.registered_bytes_total,
+            released_bytes_total=self.released_bytes_total,
+            n_registers=self.n_registers,
+            n_releases=self.n_releases,
+            nic_peak_bytes=nic_peak,
+            nic_peak_t=nic_peak_t,
+            nic_bytes_total=sum(tr.nbytes for tr in self.transfers),
+            nic_busy_seconds=nic_busy,
+            n_transfers=len(self.transfers),
+            by_tenant={k: v.to_dict()
+                       for k, v in self._scopes["tenant"].items()},
+            by_shard={k: v.to_dict()
+                      for k, v in self._scopes["shard"].items()},
+            by_source={k: v.to_dict()
+                       for k, v in self._scopes["source"].items()},
+            by_analysis={k: v.to_dict()
+                         for k, v in self._scopes["analysis"].items()},
+            leaks=leaks,
+            resident_series=list(self._resident_gauge.series or []),
+            headroom_violations=violations,
+        )
+        return self._report
+
+    def _nic_occupancy(self) -> tuple[int, float | None, float]:
+        """Peak concurrent granted bytes, when it was reached, and total
+        seconds any transfer occupied the wire (interval sweep)."""
+        if not self.transfers:
+            return 0, None, 0.0
+        events: list[tuple[float, int, int]] = []
+        for tr in self.transfers:
+            # At equal times, releases (order 0) precede grants (order 1)
+            # so back-to-back transfers do not count as concurrent.
+            events.append((tr.t_start, 1, tr.nbytes))
+            events.append((tr.t_end, 0, -tr.nbytes))
+        events.sort(key=lambda e: (e[0], e[1]))
+        active = 0
+        peak = 0
+        peak_t: float | None = None
+        busy = 0.0
+        busy_since: float | None = None
+        for t, _order, delta in events:
+            prev = active
+            active += delta
+            if prev == 0 and active > 0:
+                busy_since = t
+            elif prev > 0 and active == 0 and busy_since is not None:
+                busy += t - busy_since
+                busy_since = None
+            if active > peak:
+                peak = active
+                peak_t = t
+        return peak, peak_t, busy
+
+
+# ---------------------------------------------------------------------------
+# SLO objectives
+# ---------------------------------------------------------------------------
+
+
+def capacity_objectives(memory_frac_target: float = 1.0,
+                        nic_frac_target: float = 1.0
+                        ) -> tuple[SloObjective, ...]:
+    """Per-tenant capacity objectives for the burn-rate monitor.
+
+    * ``staging-memory`` — a job's ledger-measured peak resident staging
+      bytes stay within ``memory_frac_target`` of its analytic
+      ``staging_memory_needed`` bound (fraction > 1 means the model
+      under-provisioned);
+    * ``nic-bandwidth`` — the job's peak concurrent granted NIC bytes
+      stay within ``nic_frac_target`` of the same bound (the in-flight
+      data a pull storm pins on the wire at once).
+    """
+    return (
+        SloObjective(name="staging-memory", metric="staging_peak_frac",
+                     target=memory_frac_target),
+        SloObjective(name="nic-bandwidth", metric="nic_peak_frac",
+                     target=nic_frac_target, severity="ticket"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The `repro capacity` scenario
+# ---------------------------------------------------------------------------
+
+
+def run_capacity_scenario(n_steps: int = 6, n_buckets: int = 4,
+                          analysis_interval: int = 1, n_shards: int = 1,
+                          tenants: tuple[str, ...] = ("alpha", "beta"),
+                          inject_leak: bool = False,
+                          leak_bytes: int = 1 << 20) -> dict[str, Any]:
+    """Replay one Fig. 5-shaped campaign per tenant with the ledger on.
+
+    Runs each tenant's replay under its own ambient tracer context (so
+    every ledger entry is tenant-attributed), optionally arming a seeded
+    retention fault on the final tenant's run, and merges the per-run
+    reports into the campaign view. Returns the per-tenant reports, the
+    merged report, and the ``kind=capacity`` event stream (one canonical
+    JSONL line per event — byte-identical across same-seed runs).
+    """
+    from repro.obs.live import TelemetryBus, event_to_json
+    from repro.obs.tracer import get_tracer, tracing
+
+    with tracing() as tracer:
+        bus = tracer.attach_bus(TelemetryBus())
+        sub = bus.subscribe("capacity-scenario")
+        reports: dict[str, CapacityReport] = {}
+        makespans: dict[str, float] = {}
+        for i, tenant in enumerate(tenants):
+            exp = _scenario_experiment()
+            ledger = CapacityLedger()
+            if inject_leak and i == len(tenants) - 1:
+                ledger.inject_leak(leak_bytes)
+            with get_tracer().context(tenant=tenant, job=f"{tenant}-cap"):
+                sched = exp.run_schedule(
+                    n_steps=n_steps + i, n_buckets=n_buckets,
+                    analysis_interval=analysis_interval,
+                    n_shards=n_shards, capacity=ledger)
+            reports[tenant] = sched.capacity
+            makespans[tenant] = sched.makespan
+        merged = CapacityReport.merge(list(reports.values()))
+        events = [event_to_json(e) for e in sub.poll()
+                  if e.kind == KIND_CAPACITY]
+        tracer.attach_bus(None)
+    return {"tenants": reports, "merged": merged, "events": events,
+            "makespans": makespans, "inject_leak": inject_leak}
+
+
+def _scenario_experiment() -> Any:
+    """The replay experiment the capacity scenario (and smoke CI)
+    measures — the paper's 4896-core allocation, same as `repro perf`."""
+    from repro.core.runner import ExperimentConfig, ScaledExperiment
+    return ScaledExperiment(ExperimentConfig.paper_4896())

@@ -61,6 +61,7 @@ KIND_PROBE = "probe"
 KIND_ALERT = "alert"
 KIND_JOB = "job"
 KIND_DECISION = "decision"
+KIND_CAPACITY = "capacity"
 
 
 @dataclass(frozen=True)
@@ -157,6 +158,10 @@ class TelemetryBus:
         self.start_seq = 0
         #: Events evicted from the ring (ring overflow backpressure).
         self.dropped_total = 0
+        #: Evictions broken down by the evicted event's ``kind`` — loss
+        #: of any one stream (e.g. ``capacity``) stays attributable even
+        #: when another kind dominates the churn.
+        self.dropped_by_kind: dict[str, int] = {}
         self.subscribers: list[BusSubscriber] = []
 
     def publish(self, kind: str, name: str, *, t: float, lane: str = "bus",
@@ -167,9 +172,11 @@ class TelemetryBus:
         self.ring.append(event)
         self.published += 1
         if len(self.ring) > self.capacity:
-            self.ring.popleft()
+            evicted = self.ring.popleft()
             self.start_seq += 1
             self.dropped_total += 1
+            self.dropped_by_kind[evicted.kind] = (
+                self.dropped_by_kind.get(evicted.kind, 0) + 1)
         return event
 
     def subscribe(self, name: str = "subscriber") -> BusSubscriber:
@@ -411,6 +418,10 @@ def render_top(service: "CampaignService", bus: TelemetryBus | None = None,
             f"bus: {bus.published} events published, {len(bus.ring)} "
             f"retained, {bus.dropped_total} dropped "
             f"({len(bus.subscribers)} subscriber(s))")
+        if bus.dropped_by_kind:
+            by_kind = ", ".join(f"{kind}={n}" for kind, n in
+                                sorted(bus.dropped_by_kind.items()))
+            lines.append(f"bus drops by kind: {by_kind}")
     header = (f"{'tenant':<12} {'queued':>6} {'run':>4} {'done':>4} "
               f"{'fail':>4} {'held':>4} {'hit%':>5} {'maxwait':>8} "
               f"{'alerts':>6}")

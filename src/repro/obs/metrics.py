@@ -15,6 +15,7 @@ lookup and a no-op call when tracing is off.
 
 from __future__ import annotations
 
+import math
 import random
 import zlib
 from collections.abc import Callable
@@ -54,10 +55,17 @@ class Counter:
 
 
 class Gauge:
-    """Last-written value with running min/max (queue depth, live bytes)."""
+    """Last-written value with running min/max (queue depth, live bytes).
 
-    __slots__ = ("name", "value", "vmin", "vmax", "n_samples", "series",
-                 "_clock")
+    Alongside the min/max envelope the gauge records *when* each
+    watermark was first reached (trace-clock time, i.e. DES seconds once
+    an engine attaches): :meth:`watermark` returns the exact running
+    high/low marks with their timestamps. A watermark timestamp is the
+    first sample that set the mark — later equal samples do not move it.
+    """
+
+    __slots__ = ("name", "value", "vmin", "vmax", "t_vmin", "t_vmax",
+                 "n_samples", "series", "_clock")
 
     def __init__(self, name: str, clock: Callable[[], float] | None = None,
                  record_series: bool = False) -> None:
@@ -65,6 +73,8 @@ class Gauge:
         self.value: float = 0.0
         self.vmin: float = float("inf")
         self.vmax: float = float("-inf")
+        self.t_vmin: float = math.nan
+        self.t_vmax: float = math.nan
         self.n_samples = 0
         self.series: list[tuple[float, float]] | None = (
             [] if record_series and clock is not None else None)
@@ -72,11 +82,33 @@ class Gauge:
 
     def set(self, value: float) -> None:
         self.value = value
-        self.vmin = min(self.vmin, value)
-        self.vmax = max(self.vmax, value)
+        # The clock is only consulted when a watermark moves, so hot
+        # paths that hover inside the envelope pay nothing extra.
+        if value < self.vmin:
+            self.vmin = value
+            self.t_vmin = self._clock() if self._clock is not None else math.nan
+        if value > self.vmax:
+            self.vmax = value
+            self.t_vmax = self._clock() if self._clock is not None else math.nan
         self.n_samples += 1
         if self.series is not None:
             self.series.append((self._clock(), value))
+
+    def watermark(self) -> dict[str, float | int | None]:
+        """Exact running high/low water marks with their timestamps.
+
+        ``max_t``/``min_t`` are the trace-clock times the marks were
+        first reached (None before any sample, or when the gauge has no
+        clock)."""
+        if not self.n_samples:
+            return {"last": None, "max": None, "max_t": None,
+                    "min": None, "min_t": None, "samples": 0}
+        return {"last": self.value,
+                "max": self.vmax,
+                "max_t": None if math.isnan(self.t_vmax) else self.t_vmax,
+                "min": self.vmin,
+                "min_t": None if math.isnan(self.t_vmin) else self.t_vmin,
+                "samples": self.n_samples}
 
     def mirror(self, samples: list[tuple[float, float]]) -> None:
         """Bulk-replay a ``(time, value)`` series into the gauge.
@@ -92,8 +124,13 @@ class Gauge:
             return
         values = [v for _t, v in samples]
         self.value = values[-1]
-        self.vmin = min(self.vmin, min(values))
-        self.vmax = max(self.vmax, max(values))
+        lo, hi = min(values), max(values)
+        if lo < self.vmin:
+            self.vmin = lo
+            self.t_vmin = next(t for t, v in samples if v == lo)
+        if hi > self.vmax:
+            self.vmax = hi
+            self.t_vmax = next(t for t, v in samples if v == hi)
         self.n_samples += len(samples)
         if self.series is not None:
             self.series.extend(samples)
@@ -198,6 +235,10 @@ class _NullInstrument:
 
     def mirror(self, samples: list[tuple[float, float]]) -> None:
         pass
+
+    def watermark(self) -> dict[str, float | int | None]:
+        return {"last": None, "max": None, "max_t": None,
+                "min": None, "min_t": None, "samples": 0}
 
     def observe(self, value: float) -> None:
         pass

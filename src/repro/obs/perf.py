@@ -236,6 +236,16 @@ DEFAULT_POLICIES: tuple[MetricPolicy, ...] = (
     MetricPolicy("controller.speedup", tolerance=0.02, direction="higher"),
     MetricPolicy("controller.decisions", tolerance=0.0, direction="both"),
     MetricPolicy("controller.pool_final", tolerance=0.0, direction="both"),
+    # Ledger byte figures are deterministic invariants; leaks and
+    # headroom violations must stay at zero, headroom may only shrink
+    # deliberately.
+    MetricPolicy("capacity.leaked_regions", tolerance=0.0,
+                 direction="lower"),
+    MetricPolicy("capacity.headroom_violations", tolerance=0.0,
+                 direction="lower"),
+    MetricPolicy("capacity.headroom_bytes", tolerance=0.0,
+                 direction="higher"),
+    MetricPolicy("capacity.*", tolerance=0.0, direction="both"),
     MetricPolicy("*", tolerance=0.02, direction="lower"),
 )
 
@@ -493,6 +503,26 @@ def collect_run_record(n_steps: int = 10, n_buckets: int = 8,
         probe_series = {name: _downsample(series)
                         for name, series in sampler.series.items()}
 
+    # Phase 1's replay ran under the tracer, so the capacity ledger was
+    # attached by default; its figures gate like every other
+    # deterministic metric, and the full report feeds the dashboard.
+    cap = sched.capacity
+    capacity_meta: dict[str, Any] | None = None
+    if cap is not None:
+        metrics["capacity.peak_resident_bytes"] = float(
+            cap.peak_resident_bytes)
+        metrics["capacity.registered_bytes"] = float(
+            cap.registered_bytes_total)
+        metrics["capacity.nic_peak_bytes"] = float(cap.nic_peak_bytes)
+        metrics["capacity.nic_bytes_total"] = float(cap.nic_bytes_total)
+        metrics["capacity.transfers"] = float(cap.n_transfers)
+        metrics["capacity.leaked_regions"] = float(len(cap.leaks))
+        metrics["capacity.headroom_violations"] = float(
+            cap.headroom_violations)
+        if cap.headroom_bytes is not None:
+            metrics["capacity.headroom_bytes"] = float(cap.headroom_bytes)
+        capacity_meta = cap.to_dict()
+
     fault_report = run_resilience_experiment(
         FaultConfig(seed=fault_seed, crash_rate=100.0, horizon=0.06),
         n_tasks=32, n_buckets=4)
@@ -568,6 +598,7 @@ def collect_run_record(n_steps: int = 10, n_buckets: int = 8,
         "probe_interval_s": probe_interval,
         "alerts": alerts,
         "probe_series": probe_series,
+        "capacity": capacity_meta,
         "stage_breakdown": exp.breakdown().fig6_series(),
         "control_decisions": control.controller.decision_log(),
         "control_pool_trajectory": [[t, n] for t, n

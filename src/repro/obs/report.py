@@ -332,6 +332,71 @@ def _probe_cards(probe_series: dict[str, list[list[float]]]) -> list[str]:
     return parts
 
 
+def _capacity_panel(cap: dict[str, Any]) -> list[str]:
+    """The capacity-ledger panel: headroom headline, resident-bytes
+    sparkline, per-scope watermark rows, and any leaked regions."""
+    parts = ['<div class="panel">']
+    bound = cap.get("analytic_bound_bytes")
+    peak = cap.get("peak_resident_bytes", 0)
+    headroom = cap.get("headroom_bytes")
+    leaks = cap.get("leaks") or []
+    violated = bool(cap.get("headroom_violations"))
+    state_cls = "regressed" if (leaks or violated) else "ok"
+    state = "LEAK/OVERRUN" if (leaks or violated) else "clean"
+    parts.append(
+        f'<p><span class="status {state_cls}">{state}</span> '
+        f'<span class="ok-line">— measured peak {_fmt(peak)} bytes vs '
+        f'analytic bound {_fmt(bound)} bytes '
+        f'(headroom {_fmt(headroom)}); NIC peak '
+        f'{_fmt(cap.get("nic_peak_bytes"))} bytes over '
+        f'{_fmt(cap.get("n_transfers"))} transfers, '
+        f'{len(leaks)} leaked region(s)</span></p>')
+    series = cap.get("resident_series") or []
+    if series:
+        values = [float(v) for _t, v in series]
+        parts.append(
+            f'<div class="card"><div class="name">resident staging bytes '
+            f'(DES clock)</div><div class="value">{_fmt(values[-1])}</div>'
+            f'{_sparkline(values, label="capacity.resident_bytes")}'
+            f'<div class="delta">{len(values)} ledger transitions, peak '
+            f'{_fmt(max(values))}</div></div>')
+    scope_rows: list[tuple[str, dict[str, Any]]] = []
+    for label, key in (("tenant", "by_tenant"), ("shard", "by_shard"),
+                       ("source", "by_source")):
+        for name, acct in sorted((cap.get(key) or {}).items()):
+            scope_rows.append((f"{label}:{name}", acct))
+    if scope_rows:
+        parts.append("<table><tr><th>scope</th><th class='num'>peak</th>"
+                     "<th class='num'>registered</th>"
+                     "<th class='num'>released</th>"
+                     "<th class='num'>resident</th>"
+                     "<th class='num'>nic bytes</th></tr>")
+        for name, acct in scope_rows:
+            parts.append(
+                f"<tr><td>{_esc(name)}</td>"
+                f"<td class='num'>{_fmt(acct.get('peak_bytes'))}</td>"
+                f"<td class='num'>{_fmt(acct.get('registered_bytes'))}</td>"
+                f"<td class='num'>{_fmt(acct.get('released_bytes'))}</td>"
+                f"<td class='num'>{_fmt(acct.get('resident_bytes'))}</td>"
+                f"<td class='num'>{_fmt(acct.get('nic_bytes'))}</td></tr>")
+        parts.append("</table>")
+    if leaks:
+        parts.append("<table><tr><th>leaked region</th>"
+                     "<th class='num'>bytes</th><th>shard</th>"
+                     "<th>source</th><th>analysis</th><th>tenant</th></tr>")
+        for leak in leaks:
+            parts.append(
+                f"<tr><td>{_esc(leak.get('region_id'))}</td>"
+                f"<td class='num'>{_fmt(leak.get('nbytes'))}</td>"
+                f"<td>{_esc(leak.get('shard'))}</td>"
+                f"<td>{_esc(leak.get('source'))}</td>"
+                f"<td>{_esc(leak.get('analysis') or '-')}</td>"
+                f"<td>{_esc(leak.get('tenant'))}</td></tr>")
+        parts.append("</table>")
+    parts.append("</div>")
+    return parts
+
+
 def _runs_table(records: list[RunRecord], metrics: list[str],
                 max_runs: int = 8) -> list[str]:
     recent = records[-max_runs:]
@@ -397,6 +462,11 @@ def render_dashboard(records: list[RunRecord],
     parts.append("<h2>SLO rules &amp; alerts</h2>")
     parts.extend(_slo_panel(last.meta.get("slo_rules") or [],
                             last.meta.get("alerts") or []))
+
+    capacity = last.meta.get("capacity")
+    if capacity:
+        parts.append("<h2>Capacity ledger (staging memory &amp; NIC)</h2>")
+        parts.extend(_capacity_panel(capacity))
 
     fault_metrics = [m for m in metric_names if m.startswith("faults.")]
     if fault_metrics:

@@ -28,11 +28,14 @@ from typing import Any
 from repro.core.runner import ScaledExperiment, ScheduleResult
 from repro.des import Engine
 from repro.machine.specs import MachineSpec
+from repro.obs.capacity import capacity_objectives
 from repro.obs.live import (
+    KIND_CAPACITY,
     Alert,
     BurnRateMonitor,
     SloObjective,
     TelemetryBus,
+    default_objectives,
 )
 from repro.obs.perf import RunRecord, RunStore, machine_fingerprint
 from repro.obs.tracer import get_tracer
@@ -131,6 +134,12 @@ class TenantReport:
     queue_waits: list[float] = field(default_factory=list)
     #: Burn-rate alerts attributed to this tenant during the batch.
     alerts: int = 0
+    #: Quota true-up (ledger-capable jobs only): summed admission
+    #: estimates vs ledger-measured peaks. Negative delta = the analytic
+    #: model over-charged the tenant.
+    staging_estimated_bytes: int = 0
+    staging_measured_bytes: int = 0
+    staging_delta_bytes: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -145,6 +154,9 @@ class TenantReport:
             # single-job tenant reports p50=p95=p99), not only n > 1.
             "service.queue_wait_s": _percentiles(self.queue_waits),
             "alerts": self.alerts,
+            "staging_estimated_bytes": self.staging_estimated_bytes,
+            "staging_measured_bytes": self.staging_measured_bytes,
+            "staging_delta_bytes": self.staging_delta_bytes,
         }
 
 
@@ -231,6 +243,10 @@ class CampaignService:
         #: observations into per-tenant burn-rate alerts. Both exist
         #: even without a bus so `repro top` always has live state.
         self.bus = bus
+        if objectives is None:
+            # Queue-wait/slowdown QoS plus the capacity plane's
+            # estimated-vs-measured staging and NIC objectives.
+            objectives = default_objectives() + capacity_objectives()
         self.monitor = BurnRateMonitor(objectives, bus=bus,
                                        tracer=get_tracer())
         if jobs_store is not None and not isinstance(jobs_store, RunStore):
@@ -342,6 +358,36 @@ class CampaignService:
         # occupies the worker's allocation for the replay's makespan.
         return 0.0 if hit else sched.makespan
 
+    def _true_up(self, job: Job, cap: Any) -> None:
+        """Reconcile the admission estimate against the job's capacity
+        ledger and feed the per-tenant capacity objectives.
+
+        Runs for every ledger-capable completion, cache hits included —
+        a cached :class:`ScheduleResult` carries the capacity report
+        measured when the schedule was first executed, and the tenant
+        pinned its full admission estimate either way.
+        """
+        estimated = job.demand.staging_bytes
+        measured = cap.peak_resident_bytes
+        self.quota.true_up(job.tenant, job.job_id, estimated, measured)
+        if estimated > 0:
+            self.monitor.observe(job.tenant, "staging_peak_frac",
+                                 t=self.engine.now,
+                                 value=measured / estimated,
+                                 job_id=job.job_id)
+            self.monitor.observe(job.tenant, "nic_peak_frac",
+                                 t=self.engine.now,
+                                 value=cap.nic_peak_bytes / estimated,
+                                 job_id=job.job_id)
+        if self.bus is not None:
+            self.bus.publish(KIND_CAPACITY, "capacity.job",
+                             t=self.engine.now, lane="service",
+                             tenant=job.tenant, job_id=job.job_id,
+                             estimated=estimated, measured=measured,
+                             delta=measured - estimated,
+                             nic_peak=cap.nic_peak_bytes,
+                             leaks=len(cap.leaks))
+
     def _job_done(self, job: Job) -> None:
         job.finish_t = self.engine.now
         if job.state is JobState.RUNNING:
@@ -356,6 +402,8 @@ class CampaignService:
             self.monitor.observe(job.tenant, "makespan_slowdown",
                                  t=self.engine.now, value=slowdown,
                                  job_id=job.job_id)
+            if sched.capacity is not None and job.demand is not None:
+                self._true_up(job, sched.capacity)
         elif job.state is JobState.FAILED:
             self._publish("job.failed", job, error=job.error)
         metrics = get_tracer().metrics
@@ -422,6 +470,11 @@ class CampaignService:
         for alert in self.monitor.alerts:
             if alert.tenant in tenants:
                 tenants[alert.tenant].alerts += 1
+        for tenant, rep in tenants.items():
+            summary = self.quota.true_up_summary(tenant)
+            rep.staging_estimated_bytes = summary["estimated_bytes"]
+            rep.staging_measured_bytes = summary["measured_bytes"]
+            rep.staging_delta_bytes = summary["delta_bytes"]
         return ServiceReport(
             tenants=tenants,
             jobs=list(self.jobs),

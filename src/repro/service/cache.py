@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.core.runner import ScheduleResult
+from repro.obs.capacity import CapacityReport
 from repro.obs.perf import RunRecord, RunStore
 from repro.service.shards import ShardBalanceReport
 from repro.staging.descriptors import TaskResult
@@ -60,6 +61,10 @@ def schedule_to_dict(sched: ScheduleResult) -> dict[str, Any]:
         ],
         "shard_balance": (sched.shard_balance.to_dict()
                           if sched.shard_balance is not None else None),
+        # Full series (series_cap=None): a hit's capacity report must be
+        # bit-identical to the fresh one, like every other cached figure.
+        "capacity": (sched.capacity.to_dict(series_cap=None)
+                     if sched.capacity is not None else None),
     }
 
 
@@ -73,6 +78,7 @@ def schedule_from_dict(d: dict[str, Any]) -> ScheduleResult:
         for row in d["results"]
     ]
     balance = d.get("shard_balance")
+    capacity = d.get("capacity")
     return ScheduleResult(
         results=results,
         makespan=d["makespan"],
@@ -81,6 +87,8 @@ def schedule_from_dict(d: dict[str, Any]) -> ScheduleResult:
         n_buckets=d["n_buckets"],
         shard_balance=(ShardBalanceReport.from_dict(balance)
                        if balance is not None else None),
+        capacity=(CapacityReport.from_dict(capacity)
+                  if capacity is not None else None),
     )
 
 

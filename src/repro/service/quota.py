@@ -75,6 +75,32 @@ class TenantUsage:
     cores: int = 0
 
 
+@dataclass(frozen=True)
+class TrueUp:
+    """One completed job's estimated-vs-measured staging reconciliation.
+
+    ``delta_bytes`` is measured minus estimated: negative means the
+    analytic admission estimate over-charged the tenant (the common,
+    safe case); positive means the job actually pinned more staging
+    memory than admission accounted for.
+    """
+
+    tenant: str
+    job_id: str
+    estimated_bytes: int
+    measured_bytes: int
+
+    @property
+    def delta_bytes(self) -> int:
+        return self.measured_bytes - self.estimated_bytes
+
+    def to_dict(self) -> dict:
+        return {"tenant": self.tenant, "job_id": self.job_id,
+                "estimated_bytes": self.estimated_bytes,
+                "measured_bytes": self.measured_bytes,
+                "delta_bytes": self.delta_bytes}
+
+
 class QuotaManager:
     """Admission control + usage ledger over per-tenant quotas."""
 
@@ -90,6 +116,9 @@ class QuotaManager:
         self._usage: dict[str, TenantUsage] = {}
         #: (tenant, reason) admission refusals, in check order.
         self.denials: list[tuple[str, str]] = []
+        #: Completed jobs' estimated-vs-measured reconciliations,
+        #: appended by :meth:`true_up` in completion order.
+        self.true_ups: list[TrueUp] = []
 
     def quota_for(self, tenant: str) -> TenantQuota:
         return self.quotas.get(tenant, self.default)
@@ -160,3 +189,32 @@ class QuotaManager:
         usage.running -= 1
         usage.staging_bytes -= demand.staging_bytes
         usage.cores -= demand.cores
+
+    # -- reconciliation ------------------------------------------------------
+
+    def true_up(self, tenant: str, job_id: str, estimated_bytes: int,
+                measured_bytes: int) -> TrueUp:
+        """Reconcile a completed job's admission estimate against the
+        capacity ledger's measured peak.
+
+        Admission charged ``estimated_bytes`` (the analytic
+        ``staging_memory_needed`` bound) for the job's whole runtime and
+        :meth:`release` returns exactly that, so the running usage books
+        stay balanced; the true-up records how far the estimate was from
+        the ledger-measured truth, per tenant, for reporting and for
+        tightening future admission estimates.
+        """
+        rec = TrueUp(tenant=tenant, job_id=job_id,
+                     estimated_bytes=int(estimated_bytes),
+                     measured_bytes=int(measured_bytes))
+        self.true_ups.append(rec)
+        return rec
+
+    def true_up_summary(self, tenant: str) -> dict:
+        """Summed estimated/measured/delta bytes over a tenant's
+        completed (trued-up) jobs."""
+        recs = [r for r in self.true_ups if r.tenant == tenant]
+        return {"jobs": len(recs),
+                "estimated_bytes": sum(r.estimated_bytes for r in recs),
+                "measured_bytes": sum(r.measured_bytes for r in recs),
+                "delta_bytes": sum(r.delta_bytes for r in recs)}

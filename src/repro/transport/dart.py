@@ -60,6 +60,11 @@ class DartTransport:
         #: attempt. Installed by :class:`repro.faults.FaultInjector`.
         self.pull_fault_hook: Callable[
             [DataDescriptor, str, int], float] | None = None
+        #: Capacity ledger (:class:`repro.obs.capacity.CapacityLedger`)
+        #: recording granted-bytes wire intervals, or None — the pull
+        #: path pays one ``is None`` check without one.
+        self.ledger: Any = None
+        self.ledger_shard = "shard0"
 
     # -- registration ---------------------------------------------------------
 
@@ -231,6 +236,16 @@ class DartTransport:
                 src_nic.release()
         finally:
             dst_nic.release()
+
+        if self.ledger is not None:
+            # The granted-bytes interval is the wire time only — NIC
+            # channel queueing shows up as idle, not occupancy.
+            end = self.engine.now
+            proto_name = getattr(protocol, "name", str(protocol))
+            self.ledger.on_transfer(end - wire, end, region.nbytes,
+                                    proto_name, region.source_node,
+                                    dest_node, self.ledger_shard,
+                                    analysis=region.meta.get("analysis"))
 
         record = TransferRecord(
             region_id=region.region_id,

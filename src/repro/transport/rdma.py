@@ -38,6 +38,11 @@ class RdmaRegistry:
         self._ids = itertools.count()
         self._tracer = get_tracer()
         self._live_bytes = 0
+        #: Capacity ledger (:class:`repro.obs.capacity.CapacityLedger`)
+        #: observing this registry, or None — register/release pay one
+        #: ``is None`` check when no ledger is attached.
+        self.ledger: Any = None
+        self.ledger_shard = "shard0"
 
     def __len__(self) -> int:
         return len(self._regions)
@@ -67,6 +72,8 @@ class RdmaRegistry:
             self._tracer.counter("rdma.register")
             self._tracer.counter("rdma.registered_bytes", size)
             self._tracer.metrics.gauge("rdma.live_bytes").set(self._live_bytes)
+        if self.ledger is not None:
+            self.ledger.on_register(region, self.ledger_shard)
         return region
 
     def lookup(self, region_id: str) -> RdmaRegion:
@@ -87,6 +94,12 @@ class RdmaRegistry:
         if self._tracer.enabled:
             self._tracer.counter("rdma.release")
             self._tracer.metrics.gauge("rdma.live_bytes").set(self._live_bytes)
+        if self.ledger is not None:
+            self.ledger.on_release(region, self.ledger_shard)
+
+    def region_ids(self) -> list[str]:
+        """Ids of every currently registered region (leak-scan surface)."""
+        return list(self._regions)
 
     def live_bytes(self, source_node: str | None = None) -> int:
         """Total registered bytes (optionally for one node) — the in-situ
